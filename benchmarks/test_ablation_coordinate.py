@@ -1,0 +1,74 @@
+"""Ablation E4 — coordinate format vs tiled blocks (Section 4 vs 5).
+
+The paper (and its DIABLO predecessor) motivates block arrays by the
+cost of the coordinate format: every element is a keyed record, so joins
+and group-bys shuffle every element individually, while tiled arrays
+move whole dense blocks with indices computed, not stored.  This ablation
+runs the same multiplication comprehension with ``force_coordinate``
+(Rules 13/14 over element pairs) against the tiled GBJ plan.
+
+Sizes are small: the coordinate plan is quadratically heavier by design.
+"""
+
+import pytest
+
+from repro import PlannerOptions, SacSession
+from repro.workloads import dense_uniform
+
+TILE = 16
+SIZES = [16, 32, 48]
+ROUNDS = 2
+
+MULTIPLY = (
+    "tiled(n,m)[ ((i,j),+/v) | ((i,k),a) <- A, ((kk,j),b) <- B,"
+    " kk == k, let v = a*b, group by (i,j) ]"
+)
+
+
+def _setup(n, force_coordinate):
+    a = dense_uniform(n, n, seed=n)
+    b = dense_uniform(n, n, seed=n + 1)
+    session = SacSession(
+        tile_size=TILE,
+        options=PlannerOptions(force_coordinate=force_coordinate),
+    )
+    A = session.tiled(a).materialize()
+    B = session.tiled(b).materialize()
+    return session, A, B
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_multiply_tiled(benchmark, measure, n):
+    record, run_measured = measure
+    session, A, B = _setup(n, force_coordinate=False)
+
+    def run():
+        session.run(MULTIPLY, A=A, B=B, n=n, m=n).tiles.count()
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    wall, sim, shuffled = run_measured(session.engine, run)
+    record("ablation-coordinate", "tiled (block arrays)", n, wall, sim, shuffled)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_multiply_coordinate(benchmark, measure, n):
+    record, run_measured = measure
+    session, A, B = _setup(n, force_coordinate=True)
+
+    def run():
+        session.run(MULTIPLY, A=A, B=B, n=n, m=n).tiles.count()
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    wall, sim, shuffled = run_measured(session.engine, run)
+    record("ablation-coordinate", "coordinate (Rules 13/14)", n, wall, sim, shuffled)
+
+
+def test_coordinate_and_tiled_agree():
+    import numpy as np
+
+    n = SIZES[0]
+    s1, A1, B1 = _setup(n, False)
+    s2, A2, B2 = _setup(n, True)
+    r1 = s1.run(MULTIPLY, A=A1, B=B1, n=n, m=n).to_numpy()
+    r2 = s2.run(MULTIPLY, A=A2, B=B2, n=n, m=n).to_numpy()
+    np.testing.assert_allclose(r1, r2, rtol=1e-10)

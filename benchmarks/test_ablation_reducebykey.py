@@ -1,0 +1,72 @@
+"""Ablation E5 — reduceByKey vs groupByKey (Section 5.3's justification).
+
+The paper insists group-bys followed by aggregation translate to
+``reduceByKey`` because it combines values map-side before the shuffle,
+while ``groupByKey`` ships every record.  This ablation computes row
+sums over the element records of a matrix both ways on the engine and
+measures shuffle volume directly.
+"""
+
+import pytest
+
+from repro.engine import EngineContext
+from repro.workloads import dense_uniform
+
+SIZES = [100, 200, 300]
+ROUNDS = 2
+
+
+def _element_rdd(engine, n):
+    a = dense_uniform(n, n, seed=n)
+    elements = [
+        ((i, j), a[i, j]) for i in range(n) for j in range(n)
+    ]
+    return engine.parallelize(elements, 16).cache()
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_rowsum_reduce_by_key(benchmark, measure, n):
+    record, run_measured = measure
+    engine = EngineContext()
+    rdd = _element_rdd(engine, n)
+    rdd.count()
+
+    def run():
+        rdd.map(lambda kv: (kv[0][0], kv[1])).reduce_by_key(
+            lambda x, y: x + y
+        ).count()
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    wall, sim, shuffled = run_measured(engine, run)
+    record("ablation-reducebykey", "reduceByKey (Rule 13)", n, wall, sim, shuffled)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_rowsum_group_by_key(benchmark, measure, n):
+    record, run_measured = measure
+    engine = EngineContext()
+    rdd = _element_rdd(engine, n)
+    rdd.count()
+
+    def run():
+        rdd.map(lambda kv: (kv[0][0], kv[1])).group_by_key().map_values(
+            sum
+        ).count()
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    wall, sim, shuffled = run_measured(engine, run)
+    record("ablation-reducebykey", "groupByKey", n, wall, sim, shuffled)
+
+
+def test_both_strategies_agree():
+    engine = EngineContext()
+    rdd = _element_rdd(engine, SIZES[0])
+    reduced = dict(
+        rdd.map(lambda kv: (kv[0][0], kv[1])).reduce_by_key(lambda x, y: x + y).collect()
+    )
+    grouped = dict(
+        rdd.map(lambda kv: (kv[0][0], kv[1])).group_by_key().map_values(sum).collect()
+    )
+    assert set(reduced) == set(grouped)
+    for key in reduced:
+        assert abs(reduced[key] - grouped[key]) < 1e-9

@@ -1,0 +1,53 @@
+"""Ablation E6 — tile size sweep for multiplication.
+
+The block is the unit of distribution (Section 5): tiny tiles multiply
+the number of shuffled records and per-task overheads; one giant tile
+serializes the whole computation onto one task.  The paper fixes
+1000×1000 tiles at cluster scale; this sweep shows the tradeoff on the
+simulated cluster at a fixed matrix size.
+"""
+
+import pytest
+
+from repro import SacSession
+from repro.workloads import dense_uniform
+
+N = 240
+TILE_SIZES = [12, 24, 48, 120, 240]
+ROUNDS = 2
+
+MULTIPLY = (
+    "tiled(n,m)[ ((i,j),+/v) | ((i,k),a) <- A, ((kk,j),b) <- B,"
+    " kk == k, let v = a*b, group by (i,j) ]"
+)
+
+
+@pytest.mark.parametrize("tile", TILE_SIZES)
+def test_multiply_tile_size(benchmark, measure, tile):
+    record, run_measured = measure
+    a = dense_uniform(N, N, seed=7)
+    b = dense_uniform(N, N, seed=8)
+    session = SacSession(tile_size=tile)
+    A = session.tiled(a).materialize()
+    B = session.tiled(b).materialize()
+
+    def run():
+        session.run(MULTIPLY, A=A, B=B, n=N, m=N).tiles.count()
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    wall, sim, shuffled = run_measured(session.engine, run)
+    record("ablation-tilesize", f"GBJ multiply {N}x{N}", tile, wall, sim, shuffled)
+
+
+def test_all_tile_sizes_agree():
+    import numpy as np
+
+    a = dense_uniform(N, N, seed=7)
+    b = dense_uniform(N, N, seed=8)
+    expected = a @ b
+    for tile in (12, 240):
+        session = SacSession(tile_size=tile)
+        result = session.run(
+            MULTIPLY, A=session.tiled(a), B=session.tiled(b), n=N, m=N
+        ).to_numpy()
+        np.testing.assert_allclose(result, expected, rtol=1e-9)

@@ -1,0 +1,91 @@
+"""Experiment E3 — Figure 4.C: one matrix-factorization iteration.
+
+The paper runs one gradient-descent iteration of
+
+    E ← R − P·Qᵀ;  P ← P + γ(2E·Q − λP);  Q ← Q + γ(2Eᵀ·P − λQ)
+
+on a square 10 %-dense rating matrix (γ = 0.002, λ = 0.02, rank 1000 at
+paper scale) and reports SAC (with GBJ) up to 3× faster than MLlib.  The
+SAC implementation fuses the transposes into the multiply comprehensions
+(``multiply_nt``/``multiply_tn``); the baseline materializes ``Qᵀ`` and
+``Eᵀ`` and maps over blocks to scale, as an MLlib user must.
+"""
+
+import pytest
+
+from repro import SacSession
+from repro.engine import EngineContext
+from repro.linalg import mllib_factorization_step, sac_factorization_step
+from repro.mllib import BlockMatrix
+from repro.workloads import factor_matrix, rating_matrix
+
+TILE = 50
+RANK = 40
+SIZES = [100, 200, 300, 400]
+ROUNDS = 2
+
+
+def _inputs(n):
+    return (
+        rating_matrix(n, density=0.10, seed=n),
+        factor_matrix(n, RANK, seed=n + 1),
+        factor_matrix(n, RANK, seed=n + 2),
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_factorization_sac(benchmark, measure, n):
+    record, run_measured = measure
+    r_np, p_np, q_np = _inputs(n)
+    session = SacSession(tile_size=TILE)
+    r = session.tiled(r_np).materialize()
+    p = session.tiled(p_np).materialize()
+    q = session.tiled(q_np).materialize()
+
+    def run():
+        sac_factorization_step(session, r, p, q)
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    wall, sim, shuffled = run_measured(session.engine, run)
+    record("fig4c-factorization", "SAC (GBJ)", n, wall, sim, shuffled)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_factorization_mllib(benchmark, measure, n):
+    record, run_measured = measure
+    r_np, p_np, q_np = _inputs(n)
+    engine = EngineContext()
+    r = BlockMatrix.from_numpy(engine, r_np, TILE).cache()
+    p = BlockMatrix.from_numpy(engine, p_np, TILE).cache()
+    q = BlockMatrix.from_numpy(engine, q_np, TILE).cache()
+    for m in (r, p, q):
+        m.blocks.count()
+
+    def run():
+        p_new, q_new, _ = mllib_factorization_step(r, p, q)
+        p_new.blocks.count()
+        q_new.blocks.count()
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    wall, sim, shuffled = run_measured(engine, run)
+    record("fig4c-factorization", "MLlib BlockMatrix", n, wall, sim, shuffled)
+
+
+def test_factorization_results_agree():
+    """Sanity: SAC and the baseline take the same gradient step."""
+    import numpy as np
+
+    n = SIZES[0]
+    r_np, p_np, q_np = _inputs(n)
+    session = SacSession(tile_size=TILE)
+    state = sac_factorization_step(
+        session, session.tiled(r_np), session.tiled(p_np), session.tiled(q_np)
+    )
+    engine = EngineContext()
+    p_m, q_m, _ = mllib_factorization_step(
+        BlockMatrix.from_numpy(engine, r_np, TILE),
+        BlockMatrix.from_numpy(engine, p_np, TILE),
+        BlockMatrix.from_numpy(engine, q_np, TILE),
+    )
+    np.testing.assert_allclose(state.p.to_numpy(), p_m.to_numpy(), rtol=1e-10)
+    np.testing.assert_allclose(state.q.to_numpy(), q_m.to_numpy(), rtol=1e-10)

@@ -1,0 +1,111 @@
+"""Extending SAC with a user-defined storage (the paper's Section 1 claim).
+
+The library approach hard-codes one implementation per (operation,
+storage) pair; SAC only needs a *sparsifier* and a *builder* per storage.
+This example adds a banded-matrix storage — values kept only within a
+diagonal band — and immediately uses it in joins with dense tiled
+matrices, with no operation-specific code.
+
+Run with::
+
+    python examples/custom_storage.py
+"""
+
+import numpy as np
+
+from repro import SacSession
+from repro.storage import REGISTRY
+
+
+class BandMatrix:
+    """Square matrix storing only diagonals -band..+band.
+
+    ``bands[d]`` holds diagonal ``d`` (offset from the main diagonal),
+    each as a 1-D array.
+    """
+
+    def __init__(self, n: int, band: int, bands: dict[int, np.ndarray]):
+        self.n = n
+        self.band = band
+        self.bands = bands
+
+    @classmethod
+    def from_numpy(cls, array: np.ndarray, band: int) -> "BandMatrix":
+        n = array.shape[0]
+        bands = {
+            d: np.diagonal(array, offset=d).copy()
+            for d in range(-band, band + 1)
+        }
+        return cls(n, band, bands)
+
+    def to_numpy(self) -> np.ndarray:
+        out = np.zeros((self.n, self.n))
+        for d, values in self.bands.items():
+            idx = np.arange(len(values))
+            rows = idx - min(d, 0) * 0 + (0 if d >= 0 else -d)
+            rows = idx + (0 if d >= 0 else -d)
+            cols = idx + (d if d >= 0 else 0)
+            out[rows, cols] = values
+        return out
+
+
+def band_sparsify(m: BandMatrix):
+    """Storage → association list: only in-band entries exist."""
+    for d, values in m.bands.items():
+        for k, value in enumerate(values):
+            i = k if d >= 0 else k - d
+            j = k + d if d >= 0 else k
+            if value != 0:
+                yield (i, j), float(value)
+
+
+def band_builder(ctx, args, items):
+    """Association list → storage, dropping out-of-band entries."""
+    n, band = int(args[0]), int(args[1])
+    bands = {d: np.zeros(n - abs(d)) for d in range(-band, band + 1)}
+    for (i, j), value in items:
+        d = j - i
+        if abs(d) <= band and 0 <= i < n and 0 <= j < n:
+            bands[d][min(i, j)] = value
+    return BandMatrix(n, band, bands)
+
+
+def main() -> None:
+    # Two registrations are ALL a new storage needs.
+    REGISTRY.register_sparsifier(BandMatrix, band_sparsify)
+    REGISTRY.register_builder("band", band_builder)
+
+    session = SacSession(tile_size=16)
+    rng = np.random.default_rng(3)
+
+    n, band = 48, 2
+    tridiagonal = BandMatrix.from_numpy(rng.uniform(1, 2, size=(n, n)), band)
+    dense = rng.uniform(0, 1, size=(n, n))
+
+    # 1. Ad-hoc query on the custom storage alone: scale the band.
+    doubled = session.run(
+        "band(n, b)[ ((i,j), 2.0 * v) | ((i,j),v) <- T ]",
+        T=tridiagonal, n=n, b=band,
+    )
+    print("band scale correct:",
+          np.allclose(doubled.to_numpy(), 2 * tridiagonal.to_numpy()))
+
+    # 2. Mixed-storage join: band matrix times a distributed tiled matrix.
+    D = session.tiled(dense)
+    product = session.run(
+        "matrix(n, n)[ ((i,j), +/v) | ((i,k),a) <- T, ((kk,j),b) <- D,"
+        " kk == k, let v = a*b, group by (i,j) ]",
+        T=tridiagonal, D=D, n=n,
+    )
+    print("band @ tiled correct:",
+          np.allclose(product.to_numpy(), tridiagonal.to_numpy() @ dense))
+
+    # 3. Reductions see only stored entries — the sparsifier defines the
+    #    array's contents, not a library implementation.
+    total = session.run("+/[ v | ((i,j),v) <- T ]", T=tridiagonal)
+    print("band total correct:",
+          np.isclose(total, tridiagonal.to_numpy().sum()))
+
+
+if __name__ == "__main__":
+    main()

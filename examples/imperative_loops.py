@@ -1,0 +1,79 @@
+"""Imperative array loops compiled to distributed plans (DIABLO front end).
+
+The paper's companion system DIABLO translates loop-based array programs
+to comprehensions and uses SAC as its back end (Section 1.1).  This
+example writes matrix multiplication and row statistics as plain loops
+and shows they compile to the *same* optimal plans as the hand-written
+comprehensions — including the SUMMA-style group-by-join for the triple
+loop.
+
+Run with::
+
+    python examples/imperative_loops.py
+"""
+
+import numpy as np
+
+from repro import SacSession
+from repro.diablo import run, translate
+from repro.workloads import dense_uniform
+
+N, L, M = 300, 250, 200
+TILE = 60
+
+PROGRAM = """
+# One gradient of classic imperative array code:
+var C: tiled(n, m)
+for i = 0, n-1 do
+  for k = 0, l-1 do
+    for j = 0, m-1 do
+      C[i, j] += A[i, k] * B[k, j]
+    end
+  end
+end
+
+var R: tiled_vector(n)
+for i = 0, n-1 do
+  for j = 0, m-1 do
+    R[i] += C[i, j]
+  end
+end
+
+for i = 0, n-1 do
+  for j = 0, m-1 do
+    if (i == j) trace += C[i, j]
+  end
+end
+"""
+
+
+def main() -> None:
+    a = dense_uniform(N, L, seed=1)
+    b = dense_uniform(L, M, seed=2)
+    session = SacSession(tile_size=TILE)
+    env = {
+        "A": session.tiled(a), "B": session.tiled(b),
+        "n": N, "l": L, "m": M,
+    }
+
+    print("translated statements:")
+    for statement in translate(PROGRAM):
+        print(f"  {statement.target} = {statement.source[:88]}...")
+
+    print("\nplans chosen for each statement:")
+    scratch = dict(env)
+    for statement in translate(PROGRAM):
+        compiled = session.compile(statement.source, scratch)
+        print(f"  {statement.target}: {compiled.plan.rule}")
+        scratch[statement.target] = compiled.execute()
+
+    result = run(session, PROGRAM, env)
+    c = result["C"].to_numpy()
+    print("\nresults vs NumPy:")
+    print("  C == A @ B:", np.allclose(c, a @ b))
+    print("  R == row sums:", np.allclose(result["R"].to_numpy(), (a @ b).sum(axis=1)))
+    print("  trace:", np.isclose(result["trace"], np.trace(a @ b)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Recommender-style matrix factorization (the paper's Figure 4.C workload).
+
+Factors a 10 %-dense rating matrix R into low-rank P·Qᵀ by gradient
+descent, with every step compiled from array comprehensions, and compares
+one step against the MLlib-workalike baseline.
+
+Run with::
+
+    python examples/matrix_factorization.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import SacSession
+from repro.engine import EngineContext
+from repro.linalg import (
+    mllib_factorization_step, reconstruction_error, sac_factorization_step,
+)
+from repro.mllib import BlockMatrix
+from repro.workloads import factor_matrix, rating_matrix
+
+N, RANK, TILE = 300, 40, 60
+ITERATIONS = 8
+# The paper's γ = 0.002 is tuned for its single benchmark iteration; for a
+# converging loop at this size the step must be smaller (the gradient
+# scales with n·rank).
+LEARNING_RATE = 0.0001
+
+
+def main() -> None:
+    r_np = rating_matrix(N, density=0.10, seed=1)
+    p_np = factor_matrix(N, RANK, seed=2)
+    q_np = factor_matrix(N, RANK, seed=3)
+
+    session = SacSession(tile_size=TILE)
+    r = session.tiled(r_np).cache()
+    p = session.tiled(p_np)
+    q = session.tiled(q_np)
+
+    print(f"factorizing {N}x{N} ratings (10% dense) into rank {RANK}")
+    print(f"{'iter':>4}  {'‖R - PQᵀ‖²':>14}")
+    print(f"{0:>4}  {reconstruction_error(session, r, p, q):>14.2f}")
+
+    for step in range(1, ITERATIONS + 1):
+        state = sac_factorization_step(session, r, p, q, gamma=LEARNING_RATE)
+        p, q = state.p, state.q
+        print(f"{step:>4}  {reconstruction_error(session, r, p, q):>14.2f}")
+
+    # One-step cross-check against the MLlib-workalike baseline.
+    engine = EngineContext()
+    start = time.perf_counter()
+    p_m, q_m, _ = mllib_factorization_step(
+        BlockMatrix.from_numpy(engine, r_np, TILE),
+        BlockMatrix.from_numpy(engine, p_np, TILE),
+        BlockMatrix.from_numpy(engine, q_np, TILE),
+    )
+    mllib_wall = time.perf_counter() - start
+
+    session2 = SacSession(tile_size=TILE)
+    start = time.perf_counter()
+    state = sac_factorization_step(
+        session2, session2.tiled(r_np), session2.tiled(p_np), session2.tiled(q_np)
+    )
+    sac_wall = time.perf_counter() - start
+
+    agree = np.allclose(state.p.to_numpy(), p_m.to_numpy()) and np.allclose(
+        state.q.to_numpy(), q_m.to_numpy()
+    )
+    print()
+    print(f"SAC and MLlib baseline agree on one step: {agree}")
+    print(f"one step wall time   SAC {sac_wall:.2f}s   MLlib-style {mllib_wall:.2f}s")
+    print(f"one step simulated   SAC {session2.simulated_time():.3f}s   "
+          f"MLlib-style {engine.simulated_time():.3f}s")
+
+
+if __name__ == "__main__":
+    main()

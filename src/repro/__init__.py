@@ -1,0 +1,70 @@
+"""SAC — Scalable Array Comprehensions, reproduced in Python.
+
+A reproduction of *Scalable Linear Algebra Programming for Big Data
+Analysis* (L. Fegaras, EDBT 2021): an SQL-expressive array-comprehension
+language compiled, through storage-oblivious translation rules, to
+data-parallel programs over distributed block arrays.
+
+Quick start::
+
+    import numpy as np
+    from repro import SacSession
+
+    session = SacSession(tile_size=100)
+    A = session.matrix(np.random.rand(500, 500))
+    B = session.matrix(np.random.rand(500, 500))
+    C = A @ B                       # compiled to the SUMMA-style plan
+    row_totals = (A + B).row_sums() # preserve-tiling + tiled reduce
+
+    # or write the comprehension yourself:
+    product = session.run(
+        "tiled(n, m)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B,"
+        " kk == k, let v = a*b, group by (i,j) ]",
+        A=A.storage, B=B.storage, n=500, m=500)
+
+Package map: :mod:`repro.engine` (Spark-like dataflow substrate),
+:mod:`repro.comprehension` (language + reference semantics),
+:mod:`repro.storage` (sparsifier/builder type mappings),
+:mod:`repro.planner` (the paper's translation rules),
+:mod:`repro.core` (sessions and array handles), :mod:`repro.mllib`
+(the MLlib-workalike baseline), :mod:`repro.linalg` (ML workloads),
+:mod:`repro.workloads` (input generators).
+"""
+
+from .comprehension import (
+    SacError, SacNameError, SacPlanError, SacSyntaxError, SacTypeError,
+)
+from .core import CompiledQuery, SacMatrix, SacSession, SacVector, ops
+from .engine import ClusterSpec, EngineContext, PAPER_CLUSTER
+from .planner import PlannerOptions
+from .storage import (
+    CooMatrix, CooVector, CsrMatrix, DenseMatrix, DenseVector, TiledMatrix,
+    TiledVector,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterSpec",
+    "CompiledQuery",
+    "CooMatrix",
+    "CooVector",
+    "CsrMatrix",
+    "DenseMatrix",
+    "DenseVector",
+    "EngineContext",
+    "PAPER_CLUSTER",
+    "PlannerOptions",
+    "SacError",
+    "SacMatrix",
+    "SacNameError",
+    "SacPlanError",
+    "SacSession",
+    "SacSyntaxError",
+    "SacTypeError",
+    "SacVector",
+    "TiledMatrix",
+    "TiledVector",
+    "ops",
+    "__version__",
+]

@@ -1,0 +1,466 @@
+"""Abstract syntax for SAC array comprehensions (paper Figure 2).
+
+The expression language::
+
+    e ::= [ e | q1, ..., qn ]          comprehension
+        | op/e                          reduction by a monoid
+        | v[e1, ..., en]                array indexing
+        | builder(args)[ e | q ]        builder application
+        | e1 until e2 | e1 to e2        index ranges
+        | literals, variables, tuples, calls, field access,
+          unary/binary operators, if-else
+
+    q ::= p <- e                        generator
+        | let p = e                     local declaration
+        | e                             filter (guard)
+        | group by p [: e]              group-by
+
+    p ::= v | (p1, ..., pn) | _         patterns
+
+All nodes are frozen dataclasses: rewrites build new trees.  ``to_source``
+pretty-prints any node back to parseable DSL text (used by tests and by
+the code generator's comments), and the free-variable / renaming helpers
+support the normalization rules' capture-avoiding substitution.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, fields
+from typing import Iterator, Optional
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    def __str__(self) -> str:
+        return to_source(self)
+
+
+class Expr(Node):
+    """Base class for expressions."""
+
+
+class Pattern(Node):
+    """Base class for patterns."""
+
+
+class Qualifier(Node):
+    """Base class for comprehension qualifiers."""
+
+
+# ----------------------------------------------------------------------
+# Patterns
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VarPat(Pattern):
+    """A pattern variable: binds the matched value to ``name``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class TuplePat(Pattern):
+    """A tuple pattern; matches a tuple of equal arity component-wise."""
+
+    items: tuple[Pattern, ...]
+
+
+@dataclass(frozen=True)
+class WildPat(Pattern):
+    """The wildcard ``_``: matches anything, binds nothing."""
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """Variable reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Lit(Expr):
+    """Literal constant (int, float, bool, or str)."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class TupleExpr(Expr):
+    """Tuple construction ``(e1, ..., en)``."""
+
+    items: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operator application."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """Unary operator application (``-`` or ``!``)."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """Function call ``f(e1, ..., en)`` for a named builtin or env function."""
+
+    func: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Field(Expr):
+    """Field access ``e.name`` (records) or ``e.length`` (lifted lists)."""
+
+    base: Expr
+    name: str
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    """Array indexing ``base[e1, ..., en]``."""
+
+    base: Expr
+    indices: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class RangeExpr(Expr):
+    """Index range ``lo until hi`` (exclusive) or ``lo to hi`` (inclusive)."""
+
+    lo: Expr
+    hi: Expr
+    inclusive: bool = False
+
+
+@dataclass(frozen=True)
+class IfExpr(Expr):
+    """Conditional expression ``if (c) e1 else e2``."""
+
+    cond: Expr
+    then: Expr
+    orelse: Expr
+
+
+@dataclass(frozen=True)
+class Reduce(Expr):
+    """Total reduction ``op/e`` by the monoid named ``op``."""
+
+    monoid: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Comprehension(Expr):
+    """``[ head | qualifiers ]``."""
+
+    head: Expr
+    qualifiers: tuple[Qualifier, ...]
+
+
+@dataclass(frozen=True)
+class BuilderApp(Expr):
+    """Builder application ``name(args)[ e | q ]`` (e.g. ``matrix(n,m)[...]``).
+
+    Converts the association list produced by ``source`` into a concrete
+    storage.  ``source`` is usually a :class:`Comprehension` but may be any
+    expression yielding an association list.
+    """
+
+    name: str
+    args: tuple[Expr, ...]
+    source: Expr
+
+
+# ----------------------------------------------------------------------
+# Qualifiers
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Generator(Qualifier):
+    """``p <- e``: traverse ``e``, binding each element against ``p``."""
+
+    pattern: Pattern
+    source: Expr
+
+
+@dataclass(frozen=True)
+class LetQual(Qualifier):
+    """``let p = e``."""
+
+    pattern: Pattern
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Guard(Qualifier):
+    """A boolean filter expression."""
+
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class GroupByQual(Qualifier):
+    """``group by p``, ``group by p : e``, or ``group by e``.
+
+    The third form (``pattern is None``) keys the group on a bare
+    expression, as in the paper's ``group by i/N``; desugaring introduces a
+    fresh key variable for it.  After desugaring, ``key`` is always ``None``
+    and ``pattern`` never is.
+    """
+
+    pattern: Optional[Pattern]
+    key: Optional[Expr] = None
+
+
+# ----------------------------------------------------------------------
+# Pattern / variable utilities
+# ----------------------------------------------------------------------
+
+
+def pattern_vars(pattern: Pattern) -> list[str]:
+    """Variables bound by ``pattern``, in left-to-right order."""
+    if isinstance(pattern, VarPat):
+        return [pattern.name]
+    if isinstance(pattern, TuplePat):
+        out: list[str] = []
+        for item in pattern.items:
+            out.extend(pattern_vars(item))
+        return out
+    if isinstance(pattern, WildPat):
+        return []
+    raise TypeError(f"not a pattern: {pattern!r}")
+
+
+def pattern_to_expr(pattern: Pattern) -> Expr:
+    """The expression reading back exactly what ``pattern`` binds."""
+    if isinstance(pattern, VarPat):
+        return Var(pattern.name)
+    if isinstance(pattern, TuplePat):
+        return TupleExpr(tuple(pattern_to_expr(p) for p in pattern.items))
+    raise TypeError(f"cannot convert pattern to expression: {pattern!r}")
+
+
+def _children(node: Node) -> Iterator[Node]:
+    for f in fields(node):  # type: ignore[arg-type]
+        value = getattr(node, f.name)
+        if isinstance(value, Node):
+            yield value
+        elif isinstance(value, tuple):
+            for item in value:
+                if isinstance(item, Node):
+                    yield item
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Pre-order traversal of ``node`` and all descendants."""
+    yield node
+    for child in _children(node):
+        yield from walk(child)
+
+
+def free_vars(expr: Expr) -> set[str]:
+    """Free variables of ``expr`` (comprehension qualifiers bind)."""
+    if isinstance(expr, Var):
+        return {expr.name}
+    if isinstance(expr, Comprehension):
+        free: set[str] = set()
+        bound: set[str] = set()
+        for qual in expr.qualifiers:
+            if isinstance(qual, Generator):
+                free |= free_vars(qual.source) - bound
+                bound |= set(pattern_vars(qual.pattern))
+            elif isinstance(qual, LetQual):
+                free |= free_vars(qual.expr) - bound
+                bound |= set(pattern_vars(qual.pattern))
+            elif isinstance(qual, Guard):
+                free |= free_vars(qual.expr) - bound
+            elif isinstance(qual, GroupByQual):
+                if qual.key is not None:
+                    free |= free_vars(qual.key) - bound
+                if qual.pattern is not None:
+                    bound |= set(pattern_vars(qual.pattern))
+        free |= free_vars(expr.head) - bound
+        return free
+    if isinstance(expr, BuilderApp):
+        out = free_vars(expr.source)
+        for arg in expr.args:
+            out |= free_vars(arg)
+        return out
+    out = set()
+    for child in _children(expr):
+        if isinstance(child, Expr):
+            out |= free_vars(child)
+    return out
+
+
+def rename_expr(expr: Expr, mapping: dict[str, str]) -> Expr:
+    """Rename free variables of ``expr`` by ``mapping`` (capture-naive).
+
+    The normalizer only calls this with fresh target names, so capture
+    cannot occur.
+    """
+    if not mapping:
+        return expr
+    if isinstance(expr, Var):
+        return Var(mapping.get(expr.name, expr.name))
+    if isinstance(expr, Comprehension):
+        quals = []
+        inner = dict(mapping)
+        for qual in expr.qualifiers:
+            if isinstance(qual, Generator):
+                quals.append(Generator(rename_pattern(qual.pattern, inner), rename_expr(qual.source, inner)))
+            elif isinstance(qual, LetQual):
+                quals.append(LetQual(rename_pattern(qual.pattern, inner), rename_expr(qual.expr, inner)))
+            elif isinstance(qual, Guard):
+                quals.append(Guard(rename_expr(qual.expr, inner)))
+            elif isinstance(qual, GroupByQual):
+                key = rename_expr(qual.key, inner) if qual.key is not None else None
+                pattern = (
+                    rename_pattern(qual.pattern, inner)
+                    if qual.pattern is not None
+                    else None
+                )
+                quals.append(GroupByQual(pattern, key))
+        return Comprehension(rename_expr(expr.head, inner), tuple(quals))
+    return _rebuild(expr, mapping)
+
+
+def rename_pattern(pattern: Pattern, mapping: dict[str, str]) -> Pattern:
+    """Rename the variables a pattern binds (used for alpha-renaming)."""
+    if isinstance(pattern, VarPat):
+        return VarPat(mapping.get(pattern.name, pattern.name))
+    if isinstance(pattern, TuplePat):
+        return TuplePat(tuple(rename_pattern(p, mapping) for p in pattern.items))
+    return pattern
+
+
+def _rebuild(expr: Expr, mapping: dict[str, str]) -> Expr:
+    """Structurally rebuild ``expr`` renaming nested expression children."""
+    kwargs = {}
+    for f in fields(expr):  # type: ignore[arg-type]
+        value = getattr(expr, f.name)
+        if isinstance(value, Expr):
+            kwargs[f.name] = rename_expr(value, mapping)
+        elif isinstance(value, tuple) and value and isinstance(value[0], Expr):
+            kwargs[f.name] = tuple(rename_expr(v, mapping) for v in value)
+        else:
+            kwargs[f.name] = value
+    return type(expr)(**kwargs)
+
+
+class FreshNames:
+    """Generates fresh variable names that cannot collide with source names.
+
+    Source identifiers cannot contain ``$``, so every generated name is
+    safe without scanning the tree.
+    """
+
+    def __init__(self, prefix: str = "v"):
+        self._prefix = prefix
+        self._counter = itertools.count()
+
+    def fresh(self, hint: str = "") -> str:
+        base = hint or self._prefix
+        return f"{base}${next(self._counter)}"
+
+
+# ----------------------------------------------------------------------
+# Pretty printing
+# ----------------------------------------------------------------------
+
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6, "%": 6,
+}
+
+
+def to_source(node: Node) -> str:
+    """Render a node back to DSL source text."""
+    return _render(node, 0)
+
+
+def _render(node: Node, parent_prec: int) -> str:
+    if isinstance(node, Var):
+        return node.name
+    if isinstance(node, Lit):
+        if isinstance(node.value, bool):
+            return "true" if node.value else "false"
+        if isinstance(node.value, str):
+            return repr(node.value)
+        return repr(node.value)
+    if isinstance(node, TupleExpr):
+        return "(" + ", ".join(_render(item, 0) for item in node.items) + ")"
+    if isinstance(node, BinOp):
+        prec = _PRECEDENCE[node.op]
+        text = f"{_render(node.left, prec)} {node.op} {_render(node.right, prec + 1)}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(node, UnOp):
+        return f"{node.op}{_render(node.operand, 9)}"
+    if isinstance(node, Call):
+        return f"{node.func}(" + ", ".join(_render(a, 0) for a in node.args) + ")"
+    if isinstance(node, Field):
+        return f"{_render(node.base, 9)}.{node.name}"
+    if isinstance(node, Index):
+        return f"{_render(node.base, 9)}[" + ", ".join(_render(i, 0) for i in node.indices) + "]"
+    if isinstance(node, RangeExpr):
+        word = "to" if node.inclusive else "until"
+        text = f"{_render(node.lo, 5)} {word} {_render(node.hi, 5)}"
+        return f"({text})" if parent_prec > 4 else text
+    if isinstance(node, IfExpr):
+        text = (
+            f"if ({_render(node.cond, 0)}) {_render(node.then, 9)} "
+            f"else {_render(node.orelse, 9)}"
+        )
+        # As an operand the else-branch would swallow the rest of the
+        # enclosing expression; parenthesize in any nested position.
+        return f"({text})" if parent_prec > 0 else text
+    if isinstance(node, Reduce):
+        return f"{node.monoid}/{_render(node.expr, 9)}"
+    if isinstance(node, Comprehension):
+        quals = ", ".join(_render(q, 0) for q in node.qualifiers)
+        return f"[ {_render(node.head, 0)} | {quals} ]"
+    if isinstance(node, BuilderApp):
+        args = f"({', '.join(_render(a, 0) for a in node.args)})" if node.args else ""
+        if isinstance(node.source, Comprehension):
+            return f"{node.name}{args}{_render(node.source, 0)}"
+        return f"{node.name}{args}({_render(node.source, 0)})"
+    if isinstance(node, Generator):
+        return f"{_render(node.pattern, 0)} <- {_render(node.source, 0)}"
+    if isinstance(node, LetQual):
+        return f"let {_render(node.pattern, 0)} = {_render(node.expr, 0)}"
+    if isinstance(node, Guard):
+        return _render(node.expr, 0)
+    if isinstance(node, GroupByQual):
+        if node.pattern is None:
+            return f"group by {_render(node.key, 0)}"
+        if node.key is not None:
+            return f"group by {_render(node.pattern, 0)}: {_render(node.key, 0)}"
+        return f"group by {_render(node.pattern, 0)}"
+    if isinstance(node, VarPat):
+        return node.name
+    if isinstance(node, TuplePat):
+        return "(" + ", ".join(_render(p, 0) for p in node.items) + ")"
+    if isinstance(node, WildPat):
+        return "_"
+    raise TypeError(f"cannot render {node!r}")

@@ -1,0 +1,247 @@
+"""Desugaring: surface conveniences rewritten into the core language.
+
+Implements the paper's syntactic rewrites that happen *before*
+normalization and planning:
+
+1. ``group by p : e``  →  ``let p = e, group by p``            (Section 3)
+2. ``group by e``      →  ``let k$ = e, group by k$`` with later
+   occurrences of ``e`` replaced by ``k$``                     (used by the
+   paper's builders, e.g. ``group by i/N``)
+3. Array indexing ``V[e1, ..., en]`` inside a comprehension →
+   add ``((k1, ..., kn), k0) <- V`` plus guards ``ki == ei`` and replace
+   the indexing by ``k0``                                      (Section 2)
+4. ``avg/e``  →  ``(+/e) / (count/e)`` so only combinable reductions
+   survive into group-by analysis.
+
+Rule 3 only fires for *abstract array* variables (those the session's
+environment maps to storages); indexing of ordinary values — tiles inside
+kernels, lifted lists — keeps its direct meaning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Callable, Optional
+
+from .ast import (
+    BinOp, Call, Comprehension, Expr, FreshNames, Generator, GroupByQual,
+    Guard, Index, LetQual, Node, Pattern, Qualifier, Reduce, TuplePat,
+    Var, VarPat,
+)
+from .errors import SacPlanError
+
+
+def desugar(
+    expr: Expr,
+    is_array: Optional[Callable[[str], bool]] = None,
+    fresh: Optional[FreshNames] = None,
+) -> Expr:
+    """Apply all desugaring rules to ``expr``.
+
+    Args:
+        expr: parsed query.
+        is_array: predicate deciding whether a free variable names an
+            abstract array (enables the indexing rule for it).
+        fresh: fresh-name supply (shared across passes for readability).
+    """
+    fresh = fresh or FreshNames()
+    is_array = is_array or (lambda _name: False)
+    expr = _rewrite_avg(expr)
+    expr = _rewrite_group_by(expr, fresh)
+    expr = _rewrite_indexing(expr, is_array, fresh)
+    return expr
+
+
+# ----------------------------------------------------------------------
+# Generic bottom-up rewriting
+# ----------------------------------------------------------------------
+
+
+def rewrite_bottom_up(node: Node, visit: Callable[[Node], Node]) -> Node:
+    """Rebuild ``node`` bottom-up, applying ``visit`` to every node."""
+    kwargs = {}
+    changed = False
+    for f in fields(node):  # type: ignore[arg-type]
+        value = getattr(node, f.name)
+        if isinstance(value, Node):
+            new = rewrite_bottom_up(value, visit)
+            changed |= new is not value
+            kwargs[f.name] = new
+        elif isinstance(value, tuple) and any(isinstance(v, Node) for v in value):
+            new_items = tuple(
+                rewrite_bottom_up(v, visit) if isinstance(v, Node) else v
+                for v in value
+            )
+            changed |= any(a is not b for a, b in zip(new_items, value))
+            kwargs[f.name] = new_items
+        else:
+            kwargs[f.name] = value
+    rebuilt = type(node)(**kwargs) if changed else node
+    return visit(rebuilt)
+
+
+# ----------------------------------------------------------------------
+# avg
+# ----------------------------------------------------------------------
+
+
+def _rewrite_avg(expr: Expr) -> Expr:
+    def visit(node: Node) -> Node:
+        if isinstance(node, Reduce) and node.monoid == "avg":
+            return BinOp("/", Reduce("+", node.expr), Reduce("count", node.expr))
+        return node
+
+    return rewrite_bottom_up(expr, visit)  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# group-by forms
+# ----------------------------------------------------------------------
+
+
+def _rewrite_group_by(expr: Expr, fresh: FreshNames) -> Expr:
+    def visit(node: Node) -> Node:
+        if not isinstance(node, Comprehension):
+            return node
+        qualifiers: list[Qualifier] = []
+        rebuilt_tail: Optional[Comprehension] = None
+        for position, qual in enumerate(node.qualifiers):
+            if isinstance(qual, GroupByQual) and qual.pattern is None:
+                key_name = fresh.fresh("k")
+                qualifiers.append(LetQual(VarPat(key_name), qual.key))
+                qualifiers.append(GroupByQual(VarPat(key_name), None))
+                # Replace later occurrences of the key expression.
+                tail = node.qualifiers[position + 1 :]
+                replaced_tail = tuple(
+                    _replace_expr_in_qual(q, qual.key, Var(key_name)) for q in tail
+                )
+                new_head = _replace_expr(node.head, qual.key, Var(key_name))
+                rebuilt_tail = Comprehension(
+                    new_head, tuple(qualifiers) + replaced_tail
+                )
+                break
+            if isinstance(qual, GroupByQual) and qual.key is not None:
+                qualifiers.append(LetQual(qual.pattern, qual.key))
+                qualifiers.append(GroupByQual(qual.pattern, None))
+            else:
+                qualifiers.append(qual)
+        if rebuilt_tail is not None:
+            # Recurse in case several expression-keyed group-bys exist.
+            return visit(rebuilt_tail)
+        return Comprehension(node.head, tuple(qualifiers))
+
+    return rewrite_bottom_up(expr, visit)  # type: ignore[return-value]
+
+
+def _replace_expr(expr: Expr, target: Expr, replacement: Expr) -> Expr:
+    def visit(node: Node) -> Node:
+        if isinstance(node, Expr) and node == target:
+            return replacement
+        return node
+
+    return rewrite_bottom_up(expr, visit)  # type: ignore[return-value]
+
+
+def _replace_expr_in_qual(qual: Qualifier, target: Expr, replacement: Expr) -> Qualifier:
+    if isinstance(qual, Generator):
+        return Generator(qual.pattern, _replace_expr(qual.source, target, replacement))
+    if isinstance(qual, LetQual):
+        return LetQual(qual.pattern, _replace_expr(qual.expr, target, replacement))
+    if isinstance(qual, Guard):
+        return Guard(_replace_expr(qual.expr, target, replacement))
+    if isinstance(qual, GroupByQual) and qual.key is not None:
+        return GroupByQual(qual.pattern, _replace_expr(qual.key, target, replacement))
+    return qual
+
+
+# ----------------------------------------------------------------------
+# Array indexing
+# ----------------------------------------------------------------------
+
+
+def _rewrite_indexing(
+    expr: Expr, is_array: Callable[[str], bool], fresh: FreshNames
+) -> Expr:
+    def visit(node: Node) -> Node:
+        if isinstance(node, Comprehension):
+            return _desugar_comp_indexing(node, is_array, fresh)
+        return node
+
+    return rewrite_bottom_up(expr, visit)  # type: ignore[return-value]
+
+
+def _desugar_comp_indexing(
+    comp: Comprehension, is_array: Callable[[str], bool], fresh: FreshNames
+) -> Comprehension:
+    """Apply the Section-2 indexing rule inside one comprehension."""
+    bound: set[str] = set()
+    new_quals: list[Qualifier] = []
+    saw_group_by = False
+
+    def eligible(index: Index) -> bool:
+        return (
+            isinstance(index.base, Var)
+            and index.base.name not in bound
+            and is_array(index.base.name)
+        )
+
+    def extract(expression: Expr) -> tuple[Expr, list[Qualifier]]:
+        """Replace eligible indexings in ``expression`` by fresh vars."""
+        added: list[Qualifier] = []
+
+        def visit(node: Node) -> Node:
+            if isinstance(node, Index) and eligible(node):
+                if saw_group_by:
+                    raise SacPlanError(
+                        f"array indexing {node} after a group-by cannot be "
+                        "desugared; bind it with an explicit generator "
+                        "before the group-by"
+                    )
+                value_name = fresh.fresh("x")
+                index_names = [fresh.fresh("k") for _ in node.indices]
+                key_pat: Pattern
+                if len(index_names) == 1:
+                    key_pat = VarPat(index_names[0])
+                else:
+                    key_pat = TuplePat(tuple(VarPat(n) for n in index_names))
+                added.append(
+                    Generator(
+                        TuplePat((key_pat, VarPat(value_name))), node.base
+                    )
+                )
+                for name, idx_expr in zip(index_names, node.indices):
+                    added.append(Guard(BinOp("==", Var(name), idx_expr)))
+                return Var(value_name)
+            return node
+
+        return rewrite_bottom_up(expression, visit), added  # type: ignore[return-value]
+
+    for qual in comp.qualifiers:
+        if isinstance(qual, Generator):
+            new_source, added = extract(qual.source)
+            new_quals.extend(added)
+            new_quals.append(Generator(qual.pattern, new_source))
+            bound |= set(_pattern_vars(qual.pattern))
+        elif isinstance(qual, LetQual):
+            new_expr, added = extract(qual.expr)
+            new_quals.extend(added)
+            new_quals.append(LetQual(qual.pattern, new_expr))
+            bound |= set(_pattern_vars(qual.pattern))
+        elif isinstance(qual, Guard):
+            new_expr, added = extract(qual.expr)
+            new_quals.extend(added)
+            new_quals.append(Guard(new_expr))
+        elif isinstance(qual, GroupByQual):
+            saw_group_by = True
+            new_quals.append(qual)
+            if qual.pattern is not None:
+                bound |= set(_pattern_vars(qual.pattern))
+    new_head, added = extract(comp.head)
+    new_quals.extend(added)
+    return Comprehension(new_head, tuple(new_quals))
+
+
+def _pattern_vars(pattern: Pattern) -> list[str]:
+    from .ast import pattern_vars
+
+    return pattern_vars(pattern)

@@ -1,0 +1,36 @@
+"""Exceptions raised by the comprehension front-end and planner."""
+
+from __future__ import annotations
+
+
+class SacError(Exception):
+    """Base class for all SAC errors."""
+
+
+class SacSyntaxError(SacError):
+    """Lexing or parsing failure, with source position."""
+
+    def __init__(self, message: str, source: str = "", position: int = 0):
+        self.position = position
+        self.source = source
+        if source:
+            line = source.count("\n", 0, position) + 1
+            column = position - (source.rfind("\n", 0, position) + 1) + 1
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class SacNameError(SacError):
+    """An unbound variable was referenced."""
+
+
+class SacTypeError(SacError):
+    """A value was used at the wrong type (e.g. indexing a scalar)."""
+
+
+class SacPatternError(SacError):
+    """A pattern failed to match a value during evaluation."""
+
+
+class SacPlanError(SacError):
+    """The planner could not translate a comprehension."""

@@ -1,0 +1,153 @@
+"""Figure 3: desugaring comprehensions into flatMap chains.
+
+The paper's Figure 3 gives the standard translation of (group-by-free)
+comprehensions into monadic form::
+
+    [ e1 | p <- e2, q ]    =  e2.flatMap(λp. [ e1 | q ])     (4)
+    [ e1 | let p = e2, q ] =  let p = e2 in [ e1 | q ]       (5)
+    [ e1 | e2, q ]         =  if (e2) [ e1 | q ] else Nil    (6)
+    [ e | ]                =  [ e ]                          (7)
+
+This module implements those four rules as an explicit, executable
+transformation: :func:`to_flatmap_form` produces a term tree,
+:func:`render` prints it in the paper's notation, and :func:`evaluate`
+runs it.  It is the formal bridge between comprehensions and the
+flatMap-based target language; the engine's RDD translation follows the
+same shape with Rule (14) replacing nested flatMaps by joins.
+
+Group-by comprehensions are translated by first applying Rule (11)
+(see :mod:`repro.comprehension.interpreter`); this module rejects them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+from ..storage.registry import REGISTRY
+from .ast import (
+    Comprehension, Expr, Generator, GroupByQual, Guard, LetQual, Pattern,
+    to_source,
+)
+from .errors import SacTypeError
+from .interpreter import Interpreter, bind_pattern
+
+
+@dataclass(frozen=True)
+class Singleton:
+    """Rule (7): ``[ e ]``."""
+
+    head: Expr
+
+
+@dataclass(frozen=True)
+class FlatMap:
+    """Rule (4): ``e.flatMap(λp. body)``."""
+
+    source: Expr
+    pattern: Pattern
+    body: "Term"
+
+
+@dataclass(frozen=True)
+class LetIn:
+    """Rule (5): ``let p = e in body``."""
+
+    pattern: Pattern
+    value: Expr
+    body: "Term"
+
+
+@dataclass(frozen=True)
+class IfNil:
+    """Rule (6): ``if (e) body else Nil``."""
+
+    condition: Expr
+    body: "Term"
+
+
+Term = Union[Singleton, FlatMap, LetIn, IfNil]
+
+
+def to_flatmap_form(comp: Comprehension) -> Term:
+    """Apply Figure 3's rules (4)–(7) to a group-by-free comprehension."""
+    if any(isinstance(q, GroupByQual) for q in comp.qualifiers):
+        raise SacTypeError(
+            "Figure 3 covers group-by-free comprehensions; apply the "
+            "group-by translation (Rule 11) first"
+        )
+    return _desugar(comp.head, list(comp.qualifiers))
+
+
+def _desugar(head: Expr, qualifiers: list) -> Term:
+    if not qualifiers:
+        return Singleton(head)  # Rule (7)
+    qual, rest = qualifiers[0], qualifiers[1:]
+    if isinstance(qual, Generator):
+        return FlatMap(qual.source, qual.pattern, _desugar(head, rest))  # (4)
+    if isinstance(qual, LetQual):
+        return LetIn(qual.pattern, qual.expr, _desugar(head, rest))  # (5)
+    if isinstance(qual, Guard):
+        return IfNil(qual.expr, _desugar(head, rest))  # (6)
+    raise SacTypeError(f"unexpected qualifier {type(qual).__name__}")
+
+
+def render(term: Term) -> str:
+    """Print a term in the paper's notation."""
+    if isinstance(term, Singleton):
+        return f"[ {to_source(term.head)} ]"
+    if isinstance(term, FlatMap):
+        return (
+            f"{to_source(term.source)}.flatMap(λ{to_source(term.pattern)}. "
+            f"{render(term.body)})"
+        )
+    if isinstance(term, LetIn):
+        return (
+            f"let {to_source(term.pattern)} = {to_source(term.value)} in "
+            f"{render(term.body)}"
+        )
+    if isinstance(term, IfNil):
+        return f"if ({to_source(term.condition)}) {render(term.body)} else Nil"
+    raise SacTypeError(f"not a term: {term!r}")
+
+
+def evaluate(term: Term, env: dict[str, Any]) -> list:
+    """Run a flatMap-form term; equals the comprehension's meaning."""
+    interpreter = Interpreter(env)
+
+    def go(node: Term, scope: dict[str, Any]) -> list:
+        if isinstance(node, Singleton):
+            return [interpreter.evaluate(node.head, extra_env=scope)]
+        if isinstance(node, FlatMap):
+            source = interpreter.evaluate(node.source, extra_env=scope)
+            out: list = []
+            for item in _iterate(source):
+                inner = dict(scope)
+                bind_pattern(node.pattern, item, inner)
+                out.extend(go(node.body, inner))
+            return out
+        if isinstance(node, LetIn):
+            inner = dict(scope)
+            bind_pattern(
+                node.pattern,
+                interpreter.evaluate(node.value, extra_env=scope),
+                inner,
+            )
+            return go(node.body, inner)
+        if isinstance(node, IfNil):
+            if interpreter.evaluate(node.condition, extra_env=scope):
+                return go(node.body, scope)
+            return []  # Nil
+        raise SacTypeError(f"not a term: {node!r}")
+
+    return go(term, {})
+
+
+def _iterate(value: Any):
+    if REGISTRY.is_storage(value):
+        return REGISTRY.sparsify(value)
+    if isinstance(value, dict):
+        return value.items()
+    if hasattr(value, "collect"):
+        return value.collect()
+    return value

@@ -1,0 +1,84 @@
+"""Tokenizer for the SAC comprehension DSL."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from .errors import SacSyntaxError
+
+KEYWORDS = {
+    "let", "group", "by", "until", "to", "if", "else", "true", "false",
+    # Statement keywords used by the DIABLO-style loop front end.
+    "for", "do", "end", "var", "while",
+}
+
+#: Multi-character operators first so maximal munch wins.
+_OPERATORS = [
+    "<-", "==", "!=", "<=", ">=", "&&", "||", "+=", "*=", ":=",
+    "[", "]", "(", ")", ",", "|", "<", ">", "=",
+    "+", "-", "*", "/", "%", "!", ":", ".", "_", ";",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<float>\d+\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>\d+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>%s)
+    """
+    % "|".join(re.escape(op) for op in _OPERATORS),
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``int``, ``float``, ``string``, ``ident``,
+    ``keyword``, ``op``, or ``eof``.  ``text`` is the raw lexeme and
+    ``position`` its character offset in the source.
+    """
+
+    kind: str
+    text: str
+    position: int
+
+    def is_op(self, *texts: str) -> bool:
+        return self.kind == "op" and self.text in texts
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind == "keyword" and self.text in words
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`SacSyntaxError` on bad input."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    position = 0
+    length = len(source)
+    while position < length:
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise SacSyntaxError(
+                f"unexpected character {source[position]!r}", source, position
+            )
+        position = match.end()
+        kind = match.lastgroup
+        text = match.group()
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "ident" and text in KEYWORDS:
+            yield Token("keyword", text, match.start())
+        elif kind == "string":
+            yield Token("string", text, match.start())
+        else:
+            yield Token(kind, text, match.start())  # type: ignore[arg-type]
+    yield Token("eof", "", length)

@@ -1,0 +1,73 @@
+"""Monoids: the reduction algebras behind ``op/e`` and ``reduceByKey``.
+
+The paper's group-by translation (Section 3, Equation 12) abstracts every
+use of a lifted variable as ``op/w.map(g)`` for a *monoid* ``op`` — an
+associative combine with an identity.  The same monoids drive map-side
+combining in the distributed translation (Rule 13): ``reduceByKey(op)`` is
+only correct because ``op`` is associative.
+
+``count`` and ``avg`` are not primitive monoids; they are decomposed
+during desugaring (``avg/e`` into ``(+/e)/(count/e)``) and group-by
+analysis (``count/e`` into ``+`` over ``1``), exactly as a real
+implementation must before it can combine partial aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from .errors import SacTypeError
+
+
+@dataclass(frozen=True)
+class Monoid:
+    """An associative combine with identity.
+
+    Attributes:
+        name: the DSL spelling (``+``, ``*``, ``min``, ...).
+        zero: identity element (``1⊕`` in the paper).
+        combine: the associative binary operation.
+        np_combine: the element-wise NumPy equivalent, used by tile
+            kernels to combine whole blocks pairwise (Section 5.3's
+            ``⊗′``); ``None`` when no ufunc applies.
+    """
+
+    name: str
+    zero: Any
+    combine: Callable[[Any, Any], Any]
+    np_combine: Optional[Callable[[Any, Any], Any]] = None
+
+    def fold(self, values) -> Any:
+        """Reduce an iterable with this monoid (``op/values``)."""
+        acc = self.zero
+        for value in values:
+            acc = self.combine(acc, value)
+        return acc
+
+
+MONOIDS: dict[str, Monoid] = {
+    "+": Monoid("+", 0, lambda a, b: a + b, np.add),
+    "*": Monoid("*", 1, lambda a, b: a * b, np.multiply),
+    "min": Monoid("min", float("inf"), lambda a, b: a if a <= b else b, np.minimum),
+    "max": Monoid("max", float("-inf"), lambda a, b: a if a >= b else b, np.maximum),
+    "&&": Monoid("&&", True, lambda a, b: bool(a) and bool(b), np.logical_and),
+    "||": Monoid("||", False, lambda a, b: bool(a) or bool(b), np.logical_or),
+    "++": Monoid("++", [], lambda a, b: list(a) + list(b), None),
+}
+
+
+def monoid(name: str) -> Monoid:
+    """Look up a primitive monoid; raises :class:`SacTypeError` if unknown."""
+    try:
+        return MONOIDS[name]
+    except KeyError:
+        raise SacTypeError(
+            f"unknown monoid {name!r}; known: {sorted(MONOIDS)}"
+        ) from None
+
+
+def is_monoid(name: str) -> bool:
+    return name in MONOIDS

@@ -1,0 +1,573 @@
+"""Normalization: the paper's comprehension-calculus rewrite rules.
+
+The passes here turn desugared comprehensions into the *flat* form the
+planner pattern-matches:
+
+* **Rule (3) unnesting** — a generator whose source is itself a
+  comprehension (without group-by) is spliced inline, alpha-renaming the
+  inner qualifiers to avoid capture::
+
+      [ e1 | q1, p <- [ e2 | q3 ], q2 ]  =  [ e1 | q1, q3, let p = e2, q2 ]
+
+* **Builder/sparsifier fusion** — traversing a freshly built array
+  traverses its association list directly (``sparsify(builder(L)) = L``),
+  removing the intermediate storage the paper calls "superfluous".
+  Association lists are assumed to map each index at most once, as the
+  paper assumes.
+
+* **Guard conjunction splitting and pushdown** — ``e1 && e2`` becomes two
+  guards, and guards move as early as their variables allow (never across
+  a group-by), so joins and filters are recognized at the right position.
+
+* **Range fusion** — ``i <- r1, j <- r2, i == j`` collapses to one
+  traversal of the intersected range with ``let j = i`` (Section 2's
+  index-traversal optimization).
+
+* **Trivial let inlining and constant folding** — cleanups that make the
+  generated plans readable.
+
+``normalize`` runs all passes to a (bounded) fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ast import (
+    BinOp, BuilderApp, Call, Comprehension, Expr, FreshNames, Generator,
+    GroupByQual, Guard, LetQual, Lit, Node, Qualifier, RangeExpr,
+    UnOp, Var, VarPat, free_vars, pattern_vars,
+    rename_expr, rename_pattern,
+)
+from .desugar import rewrite_bottom_up
+
+#: Builders whose ``sparsify . builder`` composition is the identity on
+#: association lists (assuming unique keys), making fusion sound.
+_FUSABLE_BUILDERS = {
+    "vector", "matrix", "array", "coo", "coo_vector", "csr", "tiled",
+    "tiled_vector", "rdd", "list",
+}
+
+_MAX_PASSES = 20
+
+
+def normalize(expr: Expr, fresh: Optional[FreshNames] = None) -> Expr:
+    """Run all normalization passes to a fixpoint."""
+    fresh = fresh or FreshNames()
+    for _round in range(_MAX_PASSES):
+        before = expr
+        expr = _normalize_ranges(expr)
+        expr = _fuse_builders(expr)
+        expr = _unnest(expr, fresh)
+        expr = _split_guards(expr)
+        expr = _push_guards(expr)
+        expr = _fuse_ranges(expr)
+        expr = _promote_ranges(expr)
+        expr = _inline_trivial_lets(expr)
+        expr = _fold_constants(expr)
+        if expr == before:
+            return expr
+    return expr
+
+
+# ----------------------------------------------------------------------
+# Ranges
+# ----------------------------------------------------------------------
+
+
+def _normalize_ranges(expr: Expr) -> Expr:
+    """``a to b``  →  ``a until b+1`` so later passes see one form."""
+
+    def visit(node: Node) -> Node:
+        if isinstance(node, RangeExpr) and node.inclusive:
+            return RangeExpr(node.lo, BinOp("+", node.hi, Lit(1)), False)
+        return node
+
+    return rewrite_bottom_up(expr, visit)  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Builder fusion
+# ----------------------------------------------------------------------
+
+
+def _fuse_builders(expr: Expr) -> Expr:
+    def visit(node: Node) -> Node:
+        if isinstance(node, Generator) and isinstance(node.source, BuilderApp):
+            builder = node.source
+            if builder.name in _FUSABLE_BUILDERS:
+                return Generator(node.pattern, builder.source)
+        return node
+
+    return rewrite_bottom_up(expr, visit)  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Rule (3): unnesting
+# ----------------------------------------------------------------------
+
+
+def _unnest(expr: Expr, fresh: FreshNames) -> Expr:
+    def visit(node: Node) -> Node:
+        if not isinstance(node, Comprehension):
+            return node
+        new_quals: list[Qualifier] = []
+        changed = False
+        for qual in node.qualifiers:
+            if (
+                isinstance(qual, Generator)
+                and isinstance(qual.source, Comprehension)
+                and not _has_group_by(qual.source)
+            ):
+                inner = _alpha_rename(qual.source, fresh)
+                new_quals.extend(inner.qualifiers)
+                new_quals.append(LetQual(qual.pattern, inner.head))
+                changed = True
+            else:
+                new_quals.append(qual)
+        if changed:
+            return Comprehension(node.head, tuple(new_quals))
+        return node
+
+    return rewrite_bottom_up(expr, visit)  # type: ignore[return-value]
+
+
+def _has_group_by(comp: Comprehension) -> bool:
+    return any(isinstance(q, GroupByQual) for q in comp.qualifiers)
+
+
+def _alpha_rename(comp: Comprehension, fresh: FreshNames) -> Comprehension:
+    """Rename every variable ``comp``'s qualifiers bind to a fresh name."""
+    mapping: dict[str, str] = {}
+    for qual in comp.qualifiers:
+        pattern = getattr(qual, "pattern", None)
+        if pattern is not None:
+            for name in pattern_vars(pattern):
+                mapping.setdefault(name, fresh.fresh(name.split("$")[0]))
+    renamed = rename_expr(
+        Comprehension(comp.head, comp.qualifiers), mapping
+    )
+    assert isinstance(renamed, Comprehension)
+    return renamed
+
+
+# ----------------------------------------------------------------------
+# Guards
+# ----------------------------------------------------------------------
+
+
+def _split_guards(expr: Expr) -> Expr:
+    def visit(node: Node) -> Node:
+        if not isinstance(node, Comprehension):
+            return node
+        new_quals: list[Qualifier] = []
+        changed = False
+        for qual in node.qualifiers:
+            if isinstance(qual, Guard):
+                parts = _conjuncts(qual.expr)
+                if len(parts) > 1:
+                    changed = True
+                new_quals.extend(Guard(p) for p in parts)
+            else:
+                new_quals.append(qual)
+        if changed:
+            return Comprehension(node.head, tuple(new_quals))
+        return node
+
+    return rewrite_bottom_up(expr, visit)  # type: ignore[return-value]
+
+
+def _conjuncts(expr: Expr) -> list[Expr]:
+    if isinstance(expr, BinOp) and expr.op == "&&":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+def _push_guards(expr: Expr) -> Expr:
+    """Move each guard to the earliest point its variables are bound.
+
+    Guards never move across a group-by: lifting changes what their
+    variables mean.
+    """
+
+    def visit(node: Node) -> Node:
+        if not isinstance(node, Comprehension):
+            return node
+        segments = _segments(node.qualifiers)
+        new_quals: list[Qualifier] = []
+        changed = False
+        for segment, group_by in segments:
+            reordered = _push_segment(segment)
+            changed |= reordered != segment
+            new_quals.extend(reordered)
+            if group_by is not None:
+                new_quals.append(group_by)
+        if changed:
+            return Comprehension(node.head, tuple(new_quals))
+        return node
+
+    return rewrite_bottom_up(expr, visit)  # type: ignore[return-value]
+
+
+def _segments(
+    qualifiers: tuple[Qualifier, ...]
+) -> list[tuple[list[Qualifier], Optional[GroupByQual]]]:
+    """Split qualifiers into runs separated by group-by qualifiers."""
+    out: list[tuple[list[Qualifier], Optional[GroupByQual]]] = []
+    current: list[Qualifier] = []
+    for qual in qualifiers:
+        if isinstance(qual, GroupByQual):
+            out.append((current, qual))
+            current = []
+        else:
+            current.append(qual)
+    out.append((current, None))
+    return out
+
+
+def _push_segment(segment: list[Qualifier]) -> list[Qualifier]:
+    binders: list[Qualifier] = [
+        q for q in segment if not isinstance(q, Guard)
+    ]
+    if len(binders) == len(segment):
+        return segment
+
+    # bound_after[i] = variables available after the first i binders, and
+    # for each guard the number of binders preceding it originally.
+    bound_after: list[set[str]] = [set()]
+    for qual in binders:
+        pattern = getattr(qual, "pattern", None)
+        added = set(pattern_vars(pattern)) if pattern is not None else set()
+        bound_after.append(bound_after[-1] | added)
+    locally_bound = bound_after[-1]
+
+    placed: list[list[Guard]] = [[] for _ in range(len(binders) + 1)]
+    binder_count = 0
+    for qual in segment:
+        if not isinstance(qual, Guard):
+            binder_count += 1
+            continue
+        # Variables from outer scope are available everywhere; only the
+        # locally bound ones constrain how early the guard can run.
+        needed = free_vars(qual.expr) & locally_bound
+        earliest = next(
+            i for i, available in enumerate(bound_after) if needed <= available
+        )
+        # Never move a guard later than where it was written: a later
+        # binder may shadow an outer variable the guard refers to.
+        placed[min(earliest, binder_count)].append(qual)
+
+    out: list[Qualifier] = []
+    out.extend(placed[0])
+    for index, qual in enumerate(binders):
+        out.append(qual)
+        out.extend(placed[index + 1])
+    return out
+
+
+# ----------------------------------------------------------------------
+# Range fusion (Section 2)
+# ----------------------------------------------------------------------
+
+
+def _fuse_ranges(expr: Expr) -> Expr:
+    def visit(node: Node) -> Node:
+        if not isinstance(node, Comprehension):
+            return node
+        result = _fuse_ranges_once(node)
+        return result if result is not None else node
+
+    return rewrite_bottom_up(expr, visit)  # type: ignore[return-value]
+
+
+def _fuse_ranges_once(comp: Comprehension) -> Optional[Comprehension]:
+    """Fuse one ``i <- r1, j <- r2, i == j`` triple, if present."""
+    range_binders: dict[str, int] = {}
+    for index, qual in enumerate(comp.qualifiers):
+        if (
+            isinstance(qual, Generator)
+            and isinstance(qual.pattern, VarPat)
+            and isinstance(qual.source, RangeExpr)
+        ):
+            range_binders[qual.pattern.name] = index
+        if isinstance(qual, GroupByQual):
+            break  # only fuse within the first segment; later passes recurse
+
+    for index, qual in enumerate(comp.qualifiers):
+        if not (isinstance(qual, Guard) and _is_var_eq(qual.expr)):
+            continue
+        left, right = qual.expr.left.name, qual.expr.right.name  # type: ignore[union-attr]
+        if left not in range_binders or right not in range_binders:
+            continue
+        first_idx, second_idx = sorted((range_binders[left], range_binders[right]))
+        if first_idx == second_idx:
+            continue
+        first = comp.qualifiers[first_idx]
+        second = comp.qualifiers[second_idx]
+        assert isinstance(first, Generator) and isinstance(second, Generator)
+        fused_range = _intersect_ranges(first.source, second.source)  # type: ignore[arg-type]
+        new_quals = list(comp.qualifiers)
+        new_quals[first_idx] = Generator(first.pattern, fused_range)
+        new_quals[second_idx] = LetQual(
+            second.pattern, Var(first.pattern.name)  # type: ignore[union-attr]
+        )
+        del new_quals[index]
+        return Comprehension(comp.head, tuple(new_quals))
+    return None
+
+
+def _is_var_eq(expr: Expr) -> bool:
+    return (
+        isinstance(expr, BinOp)
+        and expr.op == "=="
+        and isinstance(expr.left, Var)
+        and isinstance(expr.right, Var)
+    )
+
+
+def _intersect_ranges(a: RangeExpr, b: RangeExpr) -> RangeExpr:
+    lo = a.lo if a.lo == b.lo else Call("max", (a.lo, b.lo))
+    hi = a.hi if a.hi == b.hi else Call("min", (a.hi, b.hi))
+    return RangeExpr(lo, hi, False)
+
+
+# ----------------------------------------------------------------------
+# Range promotion: loops become array traversals
+# ----------------------------------------------------------------------
+
+
+def _promote_ranges(expr: Expr) -> Expr:
+    """Turn an index loop equated to an array traversal into the traversal.
+
+    ``i <- 0 until n, ..., (k, v) <- A, ..., k == i`` scans the whole
+    range and, for each index, the whole array — the nested-loop shape
+    imperative programs produce (and the DIABLO front end emits).  The
+    array traversal already enumerates every index once, so the range
+    generator is replaced by bound guards on the traversed index::
+
+        [ e | i <- 0 until n, (k, v) <- A, k == i ]
+          =  [ e | (k, v) <- A, let i = k, i >= 0, i < n ]
+
+    This is the conversion that makes loop-style queries compile to the
+    same distributed plans as generator-style queries.
+    """
+
+    def visit(node: Node) -> Node:
+        if not isinstance(node, Comprehension):
+            return node
+        result = _promote_ranges_once(node)
+        return result if result is not None else node
+
+    return rewrite_bottom_up(expr, visit)  # type: ignore[return-value]
+
+
+def _promote_ranges_once(comp: Comprehension) -> Optional[Comprehension]:
+    quals = list(comp.qualifiers)
+    segment_end = next(
+        (i for i, q in enumerate(quals) if isinstance(q, GroupByQual)), len(quals)
+    )
+    # Variables bound by association-list (non-range) generators.
+    assoc_bound: dict[str, int] = {}
+    range_at: dict[str, int] = {}
+    for index in range(segment_end):
+        qual = quals[index]
+        if isinstance(qual, Generator):
+            if isinstance(qual.source, RangeExpr):
+                if isinstance(qual.pattern, VarPat):
+                    range_at[qual.pattern.name] = index
+            else:
+                for name in pattern_vars(qual.pattern):
+                    assoc_bound[name] = index
+
+    for index in range(segment_end):
+        qual = quals[index]
+        if not (isinstance(qual, Guard) and _is_var_eq(qual.expr)):
+            continue
+        left, right = qual.expr.left.name, qual.expr.right.name  # type: ignore[union-attr]
+        for range_var, traversal_var in ((left, right), (right, left)):
+            if range_var not in range_at or traversal_var not in assoc_bound:
+                continue
+            range_pos = range_at[range_var]
+            gen_pos = assoc_bound[traversal_var]
+            range_gen = quals[range_pos]
+            assoc_gen = quals[gen_pos]
+            assert isinstance(range_gen, Generator) and isinstance(assoc_gen, Generator)
+            source = range_gen.source
+            assert isinstance(source, RangeExpr)
+            # The traversal may only move up if its source depends on
+            # nothing bound at or after the loop position.
+            bound_before = set()
+            for earlier in quals[:range_pos]:
+                pattern = getattr(earlier, "pattern", None)
+                if pattern is not None:
+                    bound_before |= set(pattern_vars(pattern))
+            locally_bound = set()
+            for q in quals[:segment_end]:
+                pattern = getattr(q, "pattern", None)
+                if pattern is not None:
+                    locally_bound |= set(pattern_vars(q.pattern))
+            moved_deps = free_vars(assoc_gen.source) & (locally_bound - bound_before)
+            if moved_deps:
+                continue
+            # Moving the traversal up must not reorder rebindings of the
+            # same name (shadowing) relative to qualifiers in between.
+            if gen_pos > range_pos:
+                between_bound: set[str] = set()
+                for q in quals[range_pos:gen_pos]:
+                    pattern = getattr(q, "pattern", None)
+                    if pattern is not None:
+                        between_bound |= set(pattern_vars(pattern))
+                if between_bound & set(pattern_vars(assoc_gen.pattern)):
+                    continue
+            replacement: list[Qualifier] = [
+                LetQual(VarPat(range_var), Var(traversal_var)),
+                Guard(BinOp(">=", Var(range_var), source.lo)),
+                Guard(BinOp("<", Var(range_var), source.hi)),
+            ]
+            new_quals = list(quals)
+            del new_quals[index]  # the equality guard
+            if gen_pos < range_pos:
+                new_quals[range_pos:range_pos + 1] = replacement
+            else:
+                # Move the traversal up to where the loop was.
+                gen_index = new_quals.index(assoc_gen)
+                del new_quals[gen_index]
+                new_quals[range_pos:range_pos + 1] = [assoc_gen] + replacement
+            return Comprehension(comp.head, tuple(new_quals))
+    return None
+
+
+# ----------------------------------------------------------------------
+# Trivial lets
+# ----------------------------------------------------------------------
+
+
+def _inline_trivial_lets(expr: Expr) -> Expr:
+    def visit(node: Node) -> Node:
+        if not isinstance(node, Comprehension):
+            return node
+        for index, qual in enumerate(node.qualifiers):
+            if (
+                isinstance(qual, LetQual)
+                and isinstance(qual.pattern, VarPat)
+                and isinstance(qual.expr, (Var, Lit))
+                and not _rebound_later(node, index, qual.pattern.name)
+            ):
+                name = qual.pattern.name
+                if isinstance(qual.expr, Var):
+                    mapping = {name: qual.expr.name}
+                    tail = [
+                        _rename_qual(q, mapping)
+                        for q in node.qualifiers[index + 1 :]
+                    ]
+                    head = rename_expr(node.head, mapping)
+                else:
+                    tail = [
+                        _substitute_qual(q, name, qual.expr)
+                        for q in node.qualifiers[index + 1 :]
+                    ]
+                    head = _substitute(node.head, name, qual.expr)
+                return visit(
+                    Comprehension(
+                        head, node.qualifiers[:index] + tuple(tail)
+                    )
+                )
+        return node
+
+    return rewrite_bottom_up(expr, visit)  # type: ignore[return-value]
+
+
+def _rebound_later(comp: Comprehension, index: int, name: str) -> bool:
+    for qual in comp.qualifiers[index + 1 :]:
+        pattern = getattr(qual, "pattern", None)
+        if pattern is not None and name in pattern_vars(pattern):
+            return True
+    return False
+
+
+def _rename_qual(qual: Qualifier, mapping: dict[str, str]) -> Qualifier:
+    if isinstance(qual, Generator):
+        return Generator(qual.pattern, rename_expr(qual.source, mapping))
+    if isinstance(qual, LetQual):
+        return LetQual(qual.pattern, rename_expr(qual.expr, mapping))
+    if isinstance(qual, Guard):
+        return Guard(rename_expr(qual.expr, mapping))
+    if isinstance(qual, GroupByQual):
+        pattern = qual.pattern
+        if pattern is not None:
+            pattern = rename_pattern(pattern, mapping)
+        key = rename_expr(qual.key, mapping) if qual.key is not None else None
+        return GroupByQual(pattern, key)
+    return qual
+
+
+def _substitute(expr: Expr, name: str, value: Expr) -> Expr:
+    def visit(node: Node) -> Node:
+        if isinstance(node, Var) and node.name == name:
+            return value
+        return node
+
+    return rewrite_bottom_up(expr, visit)  # type: ignore[return-value]
+
+
+def _substitute_qual(qual: Qualifier, name: str, value: Expr) -> Qualifier:
+    if isinstance(qual, Generator):
+        return Generator(qual.pattern, _substitute(qual.source, name, value))
+    if isinstance(qual, LetQual):
+        return LetQual(qual.pattern, _substitute(qual.expr, name, value))
+    if isinstance(qual, Guard):
+        return Guard(_substitute(qual.expr, name, value))
+    if isinstance(qual, GroupByQual) and qual.key is not None:
+        return GroupByQual(qual.pattern, _substitute(qual.key, name, value))
+    return qual
+
+
+# ----------------------------------------------------------------------
+# Constant folding
+# ----------------------------------------------------------------------
+
+_FOLDABLE = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "%": lambda a, b: a % b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _fold_constants(expr: Expr) -> Expr:
+    def visit(node: Node) -> Node:
+        if (
+            isinstance(node, BinOp)
+            and isinstance(node.left, Lit)
+            and isinstance(node.right, Lit)
+            and node.op in _FOLDABLE
+        ):
+            return Lit(_FOLDABLE[node.op](node.left.value, node.right.value))
+        if (
+            isinstance(node, BinOp)
+            and node.op == "/"
+            and isinstance(node.left, Lit)
+            and isinstance(node.right, Lit)
+            and isinstance(node.left.value, int)
+            and isinstance(node.right.value, int)
+            and node.right.value != 0
+        ):
+            return Lit(node.left.value // node.right.value)
+        if (
+            isinstance(node, UnOp)
+            and node.op == "-"
+            and isinstance(node.operand, Lit)
+        ):
+            return Lit(-node.operand.value)  # type: ignore[operator]
+        if isinstance(node, Call) and node.func in ("min", "max"):
+            if len(node.args) == 2 and node.args[0] == node.args[1]:
+                return node.args[0]
+        return node
+
+    return rewrite_bottom_up(expr, visit)  # type: ignore[return-value]

@@ -1,0 +1,363 @@
+"""Recursive-descent parser for the SAC comprehension DSL.
+
+The concrete syntax follows the paper (Figure 2 plus the examples):
+
+* generators ``((i,j),v) <- M``, lets ``let v = a*b``, guards
+  ``kk == k``, and ``group by (i,j)`` / ``group by k: (gx(i,j), gy(ii,jj))``;
+* reductions ``+/v``, ``*/v``, ``&&/[...]``, ``min/v``, ``max/v``, ``avg/v``;
+* index ranges ``0 until n`` and ``(i-1) to (i+1)``;
+* builder applications ``matrix(n,m)[ ... | ... ]``, ``vector(n)(L)``,
+  ``tiled(n,m)[ ... ]``, ``rdd[ ... ]``.
+
+Disambiguation notes:
+
+* ``base[...]`` parses as a *comprehension argument* when the bracket
+  contains a top-level ``|``, otherwise as array indexing.
+* ``min``, ``max`` and ``avg`` immediately followed by ``/`` parse as
+  reductions, not divisions; parenthesize ``(min)/x`` to divide by a
+  variable that shadows a monoid name.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ast import (
+    BinOp, BuilderApp, Call, Comprehension, Expr, Field, Generator,
+    GroupByQual, Guard, IfExpr, Index, LetQual, Lit, Pattern, Qualifier,
+    RangeExpr, Reduce, TupleExpr, TuplePat, UnOp, Var, VarPat, WildPat,
+)
+from .errors import SacSyntaxError
+from .lexer import Token, tokenize
+
+#: Operator tokens that, followed by ``/``, start a reduction.
+_OP_MONOIDS = {"+", "*", "&&", "||"}
+#: Identifiers that, followed by ``/``, start a reduction.
+_NAMED_MONOIDS = {"min", "max", "avg", "count"}
+
+_COMPARISONS = {"==", "!=", "<", "<=", ">", ">="}
+
+
+def parse(source: str) -> Expr:
+    """Parse a complete DSL query expression."""
+    parser = _Parser(source)
+    expr = parser.expression()
+    parser.expect_eof()
+    return expr
+
+
+def parse_pattern(source: str) -> Pattern:
+    """Parse a standalone pattern (used in tests and tooling)."""
+    parser = _Parser(source)
+    pattern = parser.pattern()
+    parser.expect_eof()
+    return pattern
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self._source = source
+        self._tokens = tokenize(source)
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _error(self, message: str) -> SacSyntaxError:
+        return SacSyntaxError(message, self._source, self._current.position)
+
+    def _expect_op(self, text: str) -> Token:
+        if not self._current.is_op(text):
+            raise self._error(f"expected {text!r}, found {self._current.text!r}")
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self._current.is_keyword(word):
+            raise self._error(f"expected {word!r}, found {self._current.text!r}")
+        return self._advance()
+
+    def expect_eof(self) -> None:
+        if self._current.kind != "eof":
+            raise self._error(f"unexpected trailing input {self._current.text!r}")
+
+    # -- expressions ----------------------------------------------------
+
+    def expression(self) -> Expr:
+        if self._current.is_keyword("if"):
+            return self._if_expr()
+        return self._or_expr()
+
+    def _if_expr(self) -> Expr:
+        self._expect_keyword("if")
+        self._expect_op("(")
+        cond = self.expression()
+        self._expect_op(")")
+        then = self.expression()
+        self._expect_keyword("else")
+        orelse = self.expression()
+        return IfExpr(cond, then, orelse)
+
+    def _or_expr(self) -> Expr:
+        expr = self._and_expr()
+        while self._current.is_op("||") and not self._peek().is_op("/"):
+            self._advance()
+            expr = BinOp("||", expr, self._and_expr())
+        return expr
+
+    def _and_expr(self) -> Expr:
+        expr = self._cmp_expr()
+        while self._current.is_op("&&") and not self._peek().is_op("/"):
+            self._advance()
+            expr = BinOp("&&", expr, self._cmp_expr())
+        return expr
+
+    def _cmp_expr(self) -> Expr:
+        expr = self._range_expr()
+        while self._current.kind == "op" and self._current.text in _COMPARISONS:
+            op = self._advance().text
+            expr = BinOp(op, expr, self._range_expr())
+        return expr
+
+    def _range_expr(self) -> Expr:
+        expr = self._add_expr()
+        if self._current.is_keyword("until", "to"):
+            inclusive = self._advance().text == "to"
+            hi = self._add_expr()
+            return RangeExpr(expr, hi, inclusive)
+        return expr
+
+    def _add_expr(self) -> Expr:
+        expr = self._mul_expr()
+        while self._current.is_op("+", "-") and not self._peek().is_op("/"):
+            op = self._advance().text
+            expr = BinOp(op, expr, self._mul_expr())
+        return expr
+
+    def _mul_expr(self) -> Expr:
+        expr = self._unary()
+        while self._current.is_op("*", "/", "%"):
+            if self._current.is_op("*") and self._peek().is_op("/"):
+                break  # */x is a reduction, not multiply-divide
+            op = self._advance().text
+            expr = BinOp(op, expr, self._unary())
+        return expr
+
+    def _unary(self) -> Expr:
+        token = self._current
+        if token.kind == "op" and token.text in _OP_MONOIDS and self._peek().is_op("/"):
+            self._advance()  # the monoid op
+            self._advance()  # '/'
+            return Reduce(token.text, self._unary())
+        if (
+            token.kind == "ident"
+            and token.text in _NAMED_MONOIDS
+            and self._peek().is_op("/")
+        ):
+            self._advance()
+            self._advance()
+            return Reduce(token.text, self._unary())
+        if token.is_op("-"):
+            self._advance()
+            return UnOp("-", self._unary())
+        if token.is_op("!"):
+            self._advance()
+            return UnOp("!", self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> Expr:
+        expr = self._primary()
+        while True:
+            if self._current.is_op("("):
+                expr = self._apply_parens(expr)
+            elif self._current.is_op("["):
+                expr = self._apply_bracket(expr)
+            elif self._current.is_op(".") and self._peek().kind == "ident":
+                self._advance()
+                expr = Field(expr, self._advance().text)
+            else:
+                return expr
+
+    def _apply_parens(self, base: Expr) -> Expr:
+        """``f(args)`` on a variable is a call; on a call it is the second
+        argument group of a builder, e.g. ``matrix(n,m)(L)``."""
+        args = self._paren_args()
+        if isinstance(base, Var):
+            return Call(base.name, tuple(args))
+        if isinstance(base, Call):
+            if len(args) != 1:
+                raise self._error(
+                    f"builder {base.func!r} takes one association-list argument"
+                )
+            return BuilderApp(base.func, base.args, args[0])
+        raise self._error("only named functions and builders can be applied")
+
+    def _apply_bracket(self, base: Expr) -> Expr:
+        """``base[...]``: comprehension argument if the bracket holds a
+        top-level ``|``, otherwise array indexing."""
+        if self._bracket_has_bar():
+            source = self._comprehension()
+            if isinstance(base, Var):
+                return BuilderApp(base.name, (), source)
+            if isinstance(base, Call):
+                return BuilderApp(base.func, base.args, source)
+            raise self._error("a comprehension argument needs a builder name")
+        self._expect_op("[")
+        indices = [self.expression()]
+        while self._current.is_op(","):
+            self._advance()
+            indices.append(self.expression())
+        self._expect_op("]")
+        return Index(base, tuple(indices))
+
+    def _bracket_has_bar(self) -> bool:
+        """Look ahead from a ``[`` for a ``|`` before its matching ``]``."""
+        depth = 0
+        index = self._pos
+        while index < len(self._tokens):
+            token = self._tokens[index]
+            if token.is_op("[", "("):
+                depth += 1
+            elif token.is_op("]", ")"):
+                depth -= 1
+                if depth == 0:
+                    return False
+            elif token.is_op("|") and depth == 1:
+                return True
+            elif token.kind == "eof":
+                break
+            index += 1
+        raise self._error("unterminated '['")
+
+    def _paren_args(self) -> list[Expr]:
+        self._expect_op("(")
+        args: list[Expr] = []
+        if not self._current.is_op(")"):
+            args.append(self.expression())
+            while self._current.is_op(","):
+                self._advance()
+                args.append(self.expression())
+        self._expect_op(")")
+        return args
+
+    def _primary(self) -> Expr:
+        token = self._current
+        if token.kind == "int":
+            self._advance()
+            return Lit(int(token.text))
+        if token.kind == "float":
+            self._advance()
+            return Lit(float(token.text))
+        if token.kind == "string":
+            self._advance()
+            return Lit(token.text[1:-1].replace('\\"', '"'))
+        if token.is_keyword("true"):
+            self._advance()
+            return Lit(True)
+        if token.is_keyword("false"):
+            self._advance()
+            return Lit(False)
+        if token.is_keyword("if"):
+            return self._if_expr()
+        if token.kind == "ident":
+            if token.text == "_":
+                raise self._error("wildcard '_' is only valid in patterns")
+            self._advance()
+            return Var(token.text)
+        if token.is_op("("):
+            self._advance()
+            items = [self.expression()]
+            while self._current.is_op(","):
+                self._advance()
+                items.append(self.expression())
+            self._expect_op(")")
+            if len(items) == 1:
+                return items[0]
+            return TupleExpr(tuple(items))
+        if token.is_op("["):
+            return self._comprehension()
+        raise self._error(f"unexpected token {token.text!r}")
+
+    # -- comprehensions ---------------------------------------------------
+
+    def _comprehension(self) -> Comprehension:
+        self._expect_op("[")
+        head = self.expression()
+        self._expect_op("|")
+        qualifiers: list[Qualifier] = []
+        if not self._current.is_op("]"):
+            qualifiers.append(self._qualifier())
+            while self._current.is_op(","):
+                self._advance()
+                qualifiers.append(self._qualifier())
+        self._expect_op("]")
+        return Comprehension(head, tuple(qualifiers))
+
+    def _qualifier(self) -> Qualifier:
+        if self._current.is_keyword("let"):
+            self._advance()
+            pattern = self.pattern()
+            self._expect_op("=")
+            return LetQual(pattern, self.expression())
+        if self._current.is_keyword("group"):
+            self._advance()
+            self._expect_keyword("by")
+            saved = self._pos
+            try:
+                pattern = self.pattern()
+                # Pattern form only if the key ends here or a ':' follows;
+                # otherwise what looked like a pattern was the start of an
+                # expression key (e.g. ``group by i/N``).
+                if self._current.is_op(",", "]"):
+                    return GroupByQual(pattern, None)
+                if self._current.is_op(":"):
+                    self._advance()
+                    return GroupByQual(pattern, self.expression())
+            except SacSyntaxError:
+                pass
+            self._pos = saved
+            return GroupByQual(None, self.expression())
+        # Generator vs guard: try a pattern and look for '<-'.
+        saved = self._pos
+        try:
+            pattern = self.pattern()
+            if self._current.is_op("<-"):
+                self._advance()
+                return Generator(pattern, self.expression())
+        except SacSyntaxError:
+            pass
+        self._pos = saved
+        return Guard(self.expression())
+
+    # -- patterns ---------------------------------------------------------
+
+    def pattern(self) -> Pattern:
+        token = self._current
+        if token.kind == "ident":
+            self._advance()
+            if token.text == "_":
+                return WildPat()
+            return VarPat(token.text)
+        if token.is_op("("):
+            self._advance()
+            items = [self.pattern()]
+            while self._current.is_op(","):
+                self._advance()
+                items.append(self.pattern())
+            self._expect_op(")")
+            if len(items) == 1:
+                return items[0]
+            return TuplePat(tuple(items))
+        raise self._error(f"expected a pattern, found {token.text!r}")

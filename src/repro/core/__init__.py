@@ -1,0 +1,15 @@
+"""SAC public API: sessions, array handles, and named operations."""
+
+from . import ops
+from .array import SacMatrix, SacVector, matrix, vector
+from .session import CompiledQuery, SacSession
+
+__all__ = [
+    "CompiledQuery",
+    "SacMatrix",
+    "SacSession",
+    "SacVector",
+    "matrix",
+    "ops",
+    "vector",
+]

@@ -1,0 +1,188 @@
+"""Operator-overloaded handles over tiled storages.
+
+:class:`SacMatrix` and :class:`SacVector` give the comprehension-backed
+operations of :mod:`repro.core.ops` a NumPy-like surface::
+
+    session = SacSession(tile_size=100)
+    A = session.matrix(a)         # SacMatrix
+    B = session.matrix(b)
+    C = (A @ B + A * 2.0).T       # each operator runs one comprehension
+    C.to_numpy()
+
+Every operator compiles and executes a comprehension through the
+session — these classes contain no numeric code of their own.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..storage import TiledMatrix, TiledVector
+from . import ops
+from .session import SacSession
+
+Number = Union[int, float]
+
+
+class SacMatrix:
+    """A distributed matrix handle bound to a session."""
+
+    def __init__(self, session: SacSession, storage: TiledMatrix):
+        self.session = session
+        self.storage = storage
+
+    # -- shape ------------------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        return self.storage.rows
+
+    @property
+    def cols(self) -> int:
+        return self.storage.cols
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.storage.rows, self.storage.cols
+
+    # -- operators ----------------------------------------------------------
+
+    def __add__(self, other: Union["SacMatrix", Number]) -> "SacMatrix":
+        if isinstance(other, (int, float)):
+            return self._wrap(ops.shift(self.session, self.storage, other))
+        return self._wrap(ops.add(self.session, self.storage, other.storage))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "SacMatrix") -> "SacMatrix":
+        return self._wrap(ops.subtract(self.session, self.storage, other.storage))
+
+    def __mul__(self, other: Union["SacMatrix", Number]) -> "SacMatrix":
+        """Element-wise product (Hadamard); scalars scale."""
+        if isinstance(other, (int, float)):
+            return self._wrap(ops.scale(self.session, self.storage, other))
+        return self._wrap(ops.hadamard(self.session, self.storage, other.storage))
+
+    __rmul__ = __mul__
+
+    def __matmul__(self, other: Union["SacMatrix", "SacVector"]):
+        if isinstance(other, SacVector):
+            return SacVector(
+                self.session, ops.matvec(self.session, self.storage, other.storage)
+            )
+        return self._wrap(ops.multiply(self.session, self.storage, other.storage))
+
+    def __neg__(self) -> "SacMatrix":
+        return self._wrap(ops.scale(self.session, self.storage, -1.0))
+
+    @property
+    def T(self) -> "SacMatrix":
+        return self._wrap(ops.transpose(self.session, self.storage))
+
+    # -- named operations -----------------------------------------------------
+
+    def matmul_nt(self, other: "SacMatrix") -> "SacMatrix":
+        """``self @ other.T`` in one comprehension (no transpose pass)."""
+        return self._wrap(ops.multiply_nt(self.session, self.storage, other.storage))
+
+    def matmul_tn(self, other: "SacMatrix") -> "SacMatrix":
+        """``self.T @ other`` in one comprehension (no transpose pass)."""
+        return self._wrap(ops.multiply_tn(self.session, self.storage, other.storage))
+
+    def row_sums(self) -> "SacVector":
+        return SacVector(self.session, ops.row_sums(self.session, self.storage))
+
+    def col_sums(self) -> "SacVector":
+        return SacVector(self.session, ops.col_sums(self.session, self.storage))
+
+    def diagonal(self) -> "SacVector":
+        return SacVector(self.session, ops.diagonal(self.session, self.storage))
+
+    def trace(self) -> float:
+        return ops.trace(self.session, self.storage)
+
+    def sum(self) -> float:
+        return ops.total_sum(self.session, self.storage)
+
+    def frobenius_norm(self) -> float:
+        return float(np.sqrt(ops.frobenius_norm_sq(self.session, self.storage)))
+
+    def rotate_rows(self) -> "SacMatrix":
+        return self._wrap(ops.rotate_rows(self.session, self.storage))
+
+    def slice_rows(self, start: int, stop: int) -> "SacMatrix":
+        return self._wrap(ops.slice_rows(self.session, self.storage, start, stop))
+
+    def smooth(self) -> "SacMatrix":
+        return self._wrap(ops.smooth(self.session, self.storage))
+
+    def vstack(self, other: "SacMatrix") -> "SacMatrix":
+        """Vertical concatenation ``[self; other]``."""
+        return self._wrap(ops.vstack(self.session, self.storage, other.storage))
+
+    def hstack(self, other: "SacMatrix") -> "SacMatrix":
+        """Horizontal concatenation ``[self, other]``."""
+        return self._wrap(ops.hstack(self.session, self.storage, other.storage))
+
+    def cache(self) -> "SacMatrix":
+        self.storage.cache()
+        return self
+
+    def to_numpy(self) -> np.ndarray:
+        return self.storage.to_numpy()
+
+    def _wrap(self, storage: TiledMatrix) -> "SacMatrix":
+        return SacMatrix(self.session, storage)
+
+    def __repr__(self) -> str:
+        return f"SacMatrix({self.rows}x{self.cols}, tile={self.storage.tile_size})"
+
+
+class SacVector:
+    """A distributed vector handle bound to a session."""
+
+    def __init__(self, session: SacSession, storage: TiledVector):
+        self.session = session
+        self.storage = storage
+
+    @property
+    def length(self) -> int:
+        return self.storage.length
+
+    def dot(self, other: "SacVector") -> float:
+        return ops.inner(self.session, self.storage, other.storage)
+
+    def outer(self, other: "SacVector") -> SacMatrix:
+        return SacMatrix(
+            self.session, ops.outer(self.session, self.storage, other.storage)
+        )
+
+    def is_sorted(self) -> bool:
+        """The paper's ``&&/`` sortedness check."""
+        return bool(
+            self.session.run(
+                "&&/[ v <= w | (i,v) <- V, (j,w) <- V, j == i+1 ]",
+                V=self.storage,
+            )
+        )
+
+    def sum(self) -> float:
+        return self.session.run("+/[ v | (i,v) <- V ]", V=self.storage)
+
+    def to_numpy(self) -> np.ndarray:
+        return self.storage.to_numpy()
+
+    def __repr__(self) -> str:
+        return f"SacVector({self.length}, tile={self.storage.tile_size})"
+
+
+def matrix(session: SacSession, array: np.ndarray) -> SacMatrix:
+    """Distribute a local 2-D array as a :class:`SacMatrix`."""
+    return SacMatrix(session, session.tiled(array))
+
+
+def vector(session: SacSession, array: np.ndarray) -> SacVector:
+    """Distribute a local 1-D array as a :class:`SacVector`."""
+    return SacVector(session, session.tiled_vector(array))

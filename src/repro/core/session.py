@@ -1,0 +1,201 @@
+"""``SacSession``: the front door of the library.
+
+A session ties together the engine (simulated cluster), the tile size,
+and planner options, and runs DSL queries end to end::
+
+    from repro import SacSession
+    session = SacSession(tile_size=100)
+    A = session.tiled(numpy_array)
+    B = session.tiled(other_array)
+    C = session.run(
+        "tiled(n, m)[ ((i,j), +/v) | ((i,k),a) <- A, ((kk,j),b) <- B, "
+        "kk == k, let v = a*b, group by (i,j) ]",
+        A=A, B=B, n=n, m=m)
+
+Pipeline per query: parse → desugar (indexing, group-by forms) →
+normalize (unnesting, guard pushdown, range fusion) → plan (rule
+dispatch) → execute.  ``explain`` returns the compilation report without
+running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from ..comprehension import (
+    Expr, FreshNames, Interpreter, desugar, normalize, parse,
+)
+from ..engine import PAPER_CLUSTER, ClusterSpec, EngineContext, RDD
+from ..planner import Plan, PlannerOptions, plan_query
+from ..planner.codegen import explain as explain_plan
+from ..storage import TiledMatrix, TiledVector
+from ..storage.registry import REGISTRY, BuildContext
+
+
+@dataclass
+class CompiledQuery:
+    """A query carried through the full pipeline, ready to execute."""
+
+    source: str
+    parsed: Expr
+    normalized: Expr
+    plan: Plan
+
+    def execute(self) -> Any:
+        return self.plan.execute()
+
+    def explain(self) -> str:
+        return explain_plan(self.plan, self.parsed, self.normalized)
+
+
+class SacSession:
+    """Compiles and runs SAC array comprehensions.
+
+    Args:
+        engine: engine context to run distributed plans on; created from
+            ``cluster`` when omitted.
+        cluster: simulated cluster spec for a fresh engine.
+        tile_size: side length N of square tiles for block arrays.
+        options: planner rule switches (ablations).
+        num_partitions: partition hint for builders.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[EngineContext] = None,
+        cluster: ClusterSpec = PAPER_CLUSTER,
+        tile_size: int = 100,
+        options: Optional[PlannerOptions] = None,
+        num_partitions: Optional[int] = None,
+    ):
+        self.engine = engine or EngineContext(cluster=cluster)
+        self.tile_size = tile_size
+        self.options = options or PlannerOptions()
+        self.build_context = BuildContext(
+            engine=self.engine,
+            tile_size=tile_size,
+            num_partitions=num_partitions,
+        )
+        # Iterative algorithms re-submit identical query text every step;
+        # parsing is pure, so cache the ASTs (desugar/normalize/planning
+        # depend on the environment and still run per call).
+        self._parse_cache: dict[str, Expr] = {}
+
+    def _parse_cached(self, query: str) -> Expr:
+        cached = self._parse_cache.get(query)
+        if cached is None:
+            cached = parse(query)
+            if len(self._parse_cache) > 512:
+                self._parse_cache.clear()
+            self._parse_cache[query] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+
+    def compile(self, query: str, env: Optional[dict[str, Any]] = None, **bindings: Any) -> CompiledQuery:
+        """Run the query through parse → desugar → normalize → plan."""
+        full_env = {**(env or {}), **bindings}
+        parsed = self._parse_cached(query)
+        fresh = FreshNames()
+
+        def is_array(name: str) -> bool:
+            value = full_env.get(name)
+            return value is not None and (
+                REGISTRY.is_storage(value) or isinstance(value, RDD)
+            )
+
+        desugared = desugar(parsed, is_array=is_array, fresh=fresh)
+        normalized = normalize(desugared, fresh=fresh)
+        plan = plan_query(
+            normalized, full_env, self.engine, self.build_context, self.options
+        )
+        return CompiledQuery(query, parsed, normalized, plan)
+
+    def run(self, query: str, env: Optional[dict[str, Any]] = None, **bindings: Any) -> Any:
+        """Compile and execute a query."""
+        return self.compile(query, env, **bindings).execute()
+
+    def explain(self, query: str, env: Optional[dict[str, Any]] = None, **bindings: Any) -> str:
+        """The compilation report: normalized form, rule, pseudocode."""
+        return self.compile(query, env, **bindings).explain()
+
+    def interpret(self, query: str, env: Optional[dict[str, Any]] = None, **bindings: Any) -> Any:
+        """Evaluate with the reference interpreter, bypassing the planner.
+
+        Used by differential tests; also handy for queries the planner
+        rejects (it is always correct, just not distributed).
+        """
+        full_env = {**(env or {}), **bindings}
+        parsed = parse(query)
+        fresh = FreshNames()
+
+        def is_array(name: str) -> bool:
+            value = full_env.get(name)
+            return value is not None and (
+                REGISTRY.is_storage(value) or isinstance(value, RDD)
+            )
+
+        expr = normalize(desugar(parsed, is_array=is_array, fresh=fresh), fresh=fresh)
+        return Interpreter(full_env, build_context=self.build_context).evaluate(expr)
+
+    # ------------------------------------------------------------------
+    # Storage constructors
+    # ------------------------------------------------------------------
+
+    def tiled(
+        self, array: np.ndarray, num_partitions: Optional[int] = None
+    ) -> TiledMatrix:
+        """Distribute a local 2-D array as a tiled matrix."""
+        return TiledMatrix.from_numpy(
+            self.engine, array, self.tile_size, num_partitions
+        )
+
+    def tiled_vector(
+        self, array: np.ndarray, num_partitions: Optional[int] = None
+    ) -> TiledVector:
+        """Distribute a local 1-D array as a block vector."""
+        return TiledVector.from_numpy(
+            self.engine, array, self.tile_size, num_partitions
+        )
+
+    def sparse_tiled(self, array: np.ndarray, num_partitions: Optional[int] = None):
+        """Distribute a local 2-D array as a CSC-tiled sparse matrix.
+
+        All-zero tiles are dropped; within-tile storage is compressed
+        sparse column (the paper's Section 8 extension).
+        """
+        from ..storage.sparse_tiled import SparseTiledMatrix
+
+        return SparseTiledMatrix.from_numpy(
+            self.engine, array, self.tile_size, num_partitions
+        )
+
+    def rdd(self, items, num_partitions: Optional[int] = None) -> RDD:
+        """Distribute a local collection as an engine RDD."""
+        return self.engine.parallelize(items, num_partitions)
+
+    def matrix(self, array: np.ndarray):
+        """Distribute a local 2-D array as an operator-friendly handle."""
+        from .array import SacMatrix
+
+        return SacMatrix(self, self.tiled(array))
+
+    def vector(self, array: np.ndarray):
+        """Distribute a local 1-D array as an operator-friendly handle."""
+        from .array import SacVector
+
+        return SacVector(self, self.tiled_vector(array))
+
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self):
+        return self.engine.metrics.snapshot()
+
+    def metrics_delta(self, snapshot):
+        return self.engine.metrics.delta_since(snapshot)
+
+    def simulated_time(self) -> float:
+        return self.engine.simulated_time()

@@ -1,0 +1,40 @@
+"""DIABLO-style front end: imperative array loops compiled via SAC.
+
+The paper positions SAC as the back end of DIABLO (Section 1.1), which
+translates array-based loops to comprehensions.  This package implements
+that pipeline for the accumulation-loop subset::
+
+    from repro import SacSession
+    from repro.diablo import run
+
+    env = run(session, '''
+        var V: tiled_vector(n)
+        for i = 0, n-1 do
+          for j = 0, m-1 do
+            V[i] += M[i, j]
+          end
+        end
+    ''', {"M": tiled_matrix, "n": n, "m": m})
+    env["V"].to_numpy()
+
+The loops become comprehensions, SAC's indexing desugar turns ``M[i, j]``
+into a generator, and its range promotion replaces the loops with the
+traversal — so the program above compiles to the same tiled-reduce plan
+as the hand-written Figure 1 query.
+"""
+
+from .parser import Assign, ForLoop, IfStmt, Program, VarDecl, parse_program
+from .translate import CompiledStatement, run, translate, translate_program
+
+__all__ = [
+    "Assign",
+    "CompiledStatement",
+    "ForLoop",
+    "IfStmt",
+    "Program",
+    "VarDecl",
+    "parse_program",
+    "run",
+    "translate",
+    "translate_program",
+]

@@ -1,0 +1,177 @@
+"""Parser for the DIABLO-style loop language.
+
+The paper's companion system DIABLO ("a Data-Intensive Array-Based Loop
+Optimizer", Section 1.1) translates imperative array loops to
+comprehensions and uses SAC as its back end.  This module parses the
+loop language; :mod:`repro.diablo.translate` performs the translation.
+
+Syntax::
+
+    program   ::= statement*
+    statement ::= 'var' ident ':' ident '(' expr (',' expr)* ')' ';'?
+                | 'for' ident '=' expr ',' expr 'do' statement* 'end'
+                | 'if' '(' expr ')' statement
+                | lvalue ('=' | ':=' | '+=' | '*=') expr ';'?
+    lvalue    ::= ident ('[' expr (',' expr)* ']')?
+
+Loop bounds are **inclusive** (`for i = 0, n-1`), matching DIABLO's
+examples.  Expressions are the full SAC expression language.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from ..comprehension.ast import Expr
+from ..comprehension.parser import _Parser
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """``var C: matrix(n, m)`` — declares the target's builder."""
+
+    name: str
+    builder: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``target[indices] op rhs`` with op in ``=``, ``+=``, ``*=``."""
+
+    target: str
+    indices: tuple[Expr, ...]  # empty for scalar targets
+    op: str  # '=', '+=', '*='
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class ForLoop:
+    """``for var = lo, hi do body end`` (inclusive bounds)."""
+
+    var: str
+    lo: Expr
+    hi: Expr
+    body: tuple["Statement", ...]
+
+
+@dataclass(frozen=True)
+class IfStmt:
+    """``if (cond) statement``."""
+
+    cond: Expr
+    body: "Statement"
+
+
+Statement = Union[VarDecl, Assign, ForLoop, IfStmt]
+
+
+@dataclass
+class Program:
+    statements: tuple[Statement, ...] = field(default=())
+
+
+def parse_program(source: str) -> Program:
+    """Parse a loop program."""
+    parser = _LoopParser(source)
+    statements = []
+    while parser.current_kind() != "eof":
+        statements.append(parser.statement())
+    return Program(tuple(statements))
+
+
+class _LoopParser(_Parser):
+    """Statement layer on top of the expression parser."""
+
+    def current_kind(self) -> str:
+        return self._current.kind
+
+    def _skip_semicolons(self) -> None:
+        while self._current.is_op(";"):
+            self._advance()
+
+    def statement(self) -> Statement:
+        self._skip_semicolons()
+        token = self._current
+        if token.is_keyword("var"):
+            return self._var_decl()
+        if token.is_keyword("for"):
+            return self._for_loop()
+        if token.is_keyword("if"):
+            return self._if_statement()
+        if token.kind == "ident":
+            return self._assignment()
+        raise self._error(f"expected a statement, found {token.text!r}")
+
+    def _var_decl(self) -> VarDecl:
+        self._expect_keyword("var")
+        name = self._ident()
+        self._expect_op(":")
+        builder = self._ident()
+        self._expect_op("(")
+        args = [self.expression()]
+        while self._current.is_op(","):
+            self._advance()
+            args.append(self.expression())
+        self._expect_op(")")
+        self._skip_semicolons()
+        return VarDecl(name, builder, tuple(args))
+
+    def _for_loop(self) -> ForLoop:
+        self._expect_keyword("for")
+        var = self._ident()
+        self._expect_op("=")
+        lo = self.expression()
+        self._expect_op(",")
+        hi = self.expression()
+        self._expect_keyword("do")
+        body = []
+        while not self._current.is_keyword("end"):
+            if self._current.kind == "eof":
+                raise self._error("unterminated 'for' (missing 'end')")
+            body.append(self.statement())
+        self._expect_keyword("end")
+        self._skip_semicolons()
+        return ForLoop(var, lo, hi, tuple(body))
+
+    def _if_statement(self) -> IfStmt:
+        self._expect_keyword("if")
+        self._expect_op("(")
+        cond = self.expression()
+        self._expect_op(")")
+        body = self.statement()
+        return IfStmt(cond, body)
+
+    def _assignment(self) -> Assign:
+        target = self._ident()
+        indices: list[Expr] = []
+        if self._current.is_op("["):
+            self._advance()
+            indices.append(self.expression())
+            while self._current.is_op(","):
+                self._advance()
+                indices.append(self.expression())
+            self._expect_op("]")
+        token = self._current
+        if token.is_op("=", ":="):
+            op = "="
+        elif token.is_op("+="):
+            op = "+="
+        elif token.is_op("*="):
+            op = "*="
+        else:
+            raise self._error(
+                f"expected '=', ':=', '+=' or '*=', found {token.text!r}"
+            )
+        self._advance()
+        rhs = self.expression()
+        self._skip_semicolons()
+        return Assign(target, tuple(indices), op, rhs)
+
+    def _ident(self) -> str:
+        token = self._current
+        if token.kind != "ident":
+            raise self._error(f"expected an identifier, found {token.text!r}")
+        self._advance()
+        return token.text

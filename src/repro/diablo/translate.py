@@ -1,0 +1,197 @@
+"""Loop-to-comprehension translation (the DIABLO idea, Section 1.1).
+
+Each array update statement inside a loop nest becomes one monolithic
+comprehension:
+
+* ``C[i, j] += rhs`` inside loops over ``i, j, k``  →
+
+  .. code-block:: text
+
+      C = builder(args)[ ((i,j), +/v$) | i <- lo..hi, j <- ..., k <- ...,
+                         guards..., let v$ = rhs, group by (i, j) ]
+
+  — the loop variables become range generators, enclosing ``if``
+  conditions become guards, and the accumulation becomes a group-by
+  aggregation keyed by the target indices.
+
+* ``C[i, j] = rhs`` (plain assignment) becomes the comprehension without
+  a group-by; it is only deterministic when every loop variable feeds
+  the target indices, which the translator checks.
+
+* ``s += rhs`` with a scalar target becomes a total reduction
+  ``+/[ rhs | loops ]``.
+
+Array *reads* ``M[i, k]`` in the right-hand side need no treatment here:
+SAC's indexing desugar turns them into generators over ``M`` and its
+range-promotion pass then replaces the loops with array traversals — so
+a triple-loop matrix multiply compiles to the same group-by-join plan as
+the hand-written comprehension (``tests/test_diablo.py`` pins this).
+
+Semantics note: like DIABLO, an assignment builds the *new* array from
+the *old* environment — ``V[i] = V[i+1]`` reads the old ``V`` throughout,
+with none of the order-dependence of in-place loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import itertools
+
+from ..comprehension.ast import (
+    BuilderApp, Comprehension, Expr, Generator, GroupByQual,
+    Guard, LetQual, Qualifier, RangeExpr, Reduce, TupleExpr, Var, VarPat,
+    free_vars, to_source,
+)
+from ..comprehension.errors import SacPlanError
+from .parser import Assign, ForLoop, IfStmt, Program, Statement, VarDecl, parse_program
+
+_REDUCTION_OPS = {"+=": "+", "*=": "*"}
+
+
+@dataclass
+class CompiledStatement:
+    """One translated update: the target name and its SAC query."""
+
+    target: str
+    query: Expr
+    source: str  # rendered query text
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.source}"
+
+
+@dataclass
+class _Scope:
+    """Enclosing loop ranges and if-conditions at a statement."""
+
+    loops: list[tuple[str, Expr, Expr]]  # (var, lo, hi_inclusive)
+    guards: list[Expr]
+
+
+def translate(source: str) -> list[CompiledStatement]:
+    """Translate a loop program into a sequence of SAC queries."""
+    program = parse_program(source)
+    return translate_program(program)
+
+
+def translate_program(program: Program) -> list[CompiledStatement]:
+    declarations: dict[str, VarDecl] = {}
+    compiled: list[CompiledStatement] = []
+    # Plain-text fresh names: translated queries must re-parse as source.
+    counter = itertools.count()
+    fresh = lambda: f"_dv{next(counter)}"  # noqa: E731 - tiny local factory
+
+    def walk(statement: Statement, scope: _Scope) -> None:
+        if isinstance(statement, VarDecl):
+            if scope.loops or scope.guards:
+                raise SacPlanError(
+                    f"declare {statement.name!r} outside loops"
+                )
+            declarations[statement.name] = statement
+        elif isinstance(statement, ForLoop):
+            inner = _Scope(
+                scope.loops + [(statement.var, statement.lo, statement.hi)],
+                list(scope.guards),
+            )
+            for child in statement.body:
+                walk(child, inner)
+        elif isinstance(statement, IfStmt):
+            inner = _Scope(list(scope.loops), scope.guards + [statement.cond])
+            walk(statement.body, inner)
+        elif isinstance(statement, Assign):
+            compiled.append(
+                _translate_assign(statement, scope, declarations, fresh)
+            )
+        else:  # pragma: no cover - parser produces no other nodes
+            raise SacPlanError(f"unknown statement {statement!r}")
+
+    top = _Scope([], [])
+    for statement in program.statements:
+        walk(statement, top)
+    return compiled
+
+
+def _translate_assign(
+    assign: Assign,
+    scope: _Scope,
+    declarations: dict[str, VarDecl],
+    fresh,
+) -> CompiledStatement:
+    qualifiers: list[Qualifier] = []
+    for var, lo, hi in scope.loops:
+        qualifiers.append(Generator(VarPat(var), RangeExpr(lo, hi, inclusive=True)))
+    qualifiers.extend(Guard(g) for g in scope.guards)
+
+    if not assign.indices:
+        return _translate_scalar(assign, qualifiers, scope)
+
+    declaration = declarations.get(assign.target)
+    if declaration is None:
+        raise SacPlanError(
+            f"array target {assign.target!r} needs a declaration, e.g. "
+            f"'var {assign.target}: matrix(n, m)'"
+        )
+    key: Expr = (
+        assign.indices[0]
+        if len(assign.indices) == 1
+        else TupleExpr(tuple(assign.indices))
+    )
+
+    if assign.op in _REDUCTION_OPS:
+        value_name = fresh()
+        qualifiers.append(LetQual(VarPat(value_name), assign.rhs))
+        qualifiers.append(GroupByQual(None, key))
+        head = TupleExpr((key, Reduce(_REDUCTION_OPS[assign.op], Var(value_name))))
+    else:
+        _check_deterministic(assign, scope)
+        head = TupleExpr((key, assign.rhs))
+
+    comp = Comprehension(head, tuple(qualifiers))
+    query = BuilderApp(declaration.builder, declaration.args, comp)
+    return CompiledStatement(assign.target, query, to_source(query))
+
+
+def _translate_scalar(
+    assign: Assign, qualifiers: list[Qualifier], scope: _Scope
+) -> CompiledStatement:
+    if assign.op == "=":
+        if scope.loops:
+            raise SacPlanError(
+                f"plain '=' to scalar {assign.target!r} inside a loop is "
+                "order-dependent; use '+=' or '*='"
+            )
+        return CompiledStatement(assign.target, assign.rhs, to_source(assign.rhs))
+    comp = Comprehension(assign.rhs, tuple(qualifiers))
+    query: Expr = Reduce(_REDUCTION_OPS[assign.op], comp)
+    return CompiledStatement(assign.target, query, to_source(query))
+
+
+def _check_deterministic(assign: Assign, scope: _Scope) -> None:
+    """Every enclosing loop variable must feed the target indices."""
+    index_vars = set()
+    for index in assign.indices:
+        index_vars |= free_vars(index)
+    for var, _lo, _hi in scope.loops:
+        if var not in index_vars:
+            raise SacPlanError(
+                f"assignment to {assign.target}[...] does not use loop "
+                f"variable {var!r}: each iteration would overwrite the "
+                "previous one; use '+='/'*=' for accumulations"
+            )
+
+
+def run(session, source: str, env: Optional[dict[str, Any]] = None) -> dict[str, Any]:
+    """Translate and execute a loop program on a session.
+
+    Statements run in order; each target's result is bound into the
+    environment for the statements after it.  Returns the final
+    environment (inputs plus every assigned target).
+    """
+    environment = dict(env or {})
+    for statement in translate(source):
+        environment[statement.target] = session.run(
+            statement.source, environment
+        )
+    return environment

@@ -1,0 +1,39 @@
+"""A from-scratch Spark-like dataflow engine.
+
+This package is the *substrate* of the reproduction: the paper compiles
+array comprehensions to Spark RDD programs, so the planner here compiles
+them to this engine's RDD programs.  It provides lazily evaluated,
+partitioned datasets with lineage, hash/grid partitioning, map-side
+combining shuffles whose volume is measured byte-for-byte, and a cost
+model that converts measured work into simulated time on a configurable
+cluster.
+"""
+
+from .cluster import BENCH_CLUSTER, PAPER_CLUSTER, TINY_CLUSTER, ClusterSpec
+from .context import Accumulator, Broadcast, EngineContext
+from .metrics import JobMetrics, MetricsRegistry
+from .partitioner import GridPartitioner, HashPartitioner, Partitioner, portable_hash
+from .rdd import RDD
+from .scheduler import SerialTaskRunner, ThreadedTaskRunner
+from .shuffle import Aggregator, ShuffleManager
+
+__all__ = [
+    "Accumulator",
+    "Aggregator",
+    "Broadcast",
+    "BENCH_CLUSTER",
+    "ClusterSpec",
+    "EngineContext",
+    "GridPartitioner",
+    "HashPartitioner",
+    "JobMetrics",
+    "MetricsRegistry",
+    "PAPER_CLUSTER",
+    "Partitioner",
+    "RDD",
+    "SerialTaskRunner",
+    "ShuffleManager",
+    "ThreadedTaskRunner",
+    "TINY_CLUSTER",
+    "portable_hash",
+]

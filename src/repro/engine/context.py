@@ -1,0 +1,115 @@
+"""The driver-side entry point to the engine (Spark's ``SparkContext``)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, Iterable, Iterator, Optional, TypeVar
+
+from .cluster import PAPER_CLUSTER, ClusterSpec
+from .metrics import MetricsRegistry
+from .rdd import RDD, ParallelCollectionRDD
+from .scheduler import DAGScheduler, TaskRunner
+from .shuffle import ShuffleManager
+
+T = TypeVar("T")
+
+
+class Broadcast(Generic[T]):
+    """A read-only value shared with every task.
+
+    In-process this is just a reference; it exists so generated plans read
+    like their Spark counterparts and so broadcast sizes can be accounted
+    if a cost model for driver→executor traffic is ever needed.
+    """
+
+    def __init__(self, value: T):
+        self._value = value
+
+    @property
+    def value(self) -> T:
+        return self._value
+
+
+class Accumulator:
+    """A write-only counter tasks add to and the driver reads."""
+
+    def __init__(self, initial: Any, add: Callable[[Any, Any], Any] = lambda a, b: a + b):
+        self._value = initial
+        self._add = add
+
+    def add(self, amount: Any) -> None:
+        self._value = self._add(self._value, amount)
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+
+class EngineContext:
+    """Creates RDDs and runs jobs against a simulated cluster.
+
+    Example::
+
+        ctx = EngineContext()
+        rdd = ctx.parallelize(range(100), num_partitions=8)
+        total = rdd.map(lambda x: x * x).sum()
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec = PAPER_CLUSTER,
+        runner: Optional[TaskRunner] = None,
+        default_parallelism: Optional[int] = None,
+    ):
+        self.cluster = cluster
+        self.metrics = MetricsRegistry()
+        self.shuffle_manager = ShuffleManager(self.metrics)
+        self.scheduler = DAGScheduler(self.metrics, runner)
+        self._default_parallelism = default_parallelism or cluster.default_parallelism()
+        self._rdd_counter = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def default_parallelism(self) -> int:
+        return self._default_parallelism
+
+    def _register_rdd(self) -> int:
+        self._rdd_counter += 1
+        return self._rdd_counter
+
+    # ------------------------------------------------------------------
+
+    def parallelize(
+        self, data: Iterable, num_partitions: Optional[int] = None
+    ) -> RDD:
+        """Distribute an in-memory collection as an RDD."""
+        return ParallelCollectionRDD(
+            self, data, num_partitions or self._default_parallelism
+        )
+
+    def empty_rdd(self) -> RDD:
+        return ParallelCollectionRDD(self, [], 1)
+
+    def range(self, start: int, end: int, num_partitions: Optional[int] = None) -> RDD:
+        return self.parallelize(range(start, end), num_partitions)
+
+    def broadcast(self, value: T) -> Broadcast[T]:
+        return Broadcast(value)
+
+    def accumulator(self, initial: Any = 0) -> Accumulator:
+        return Accumulator(initial)
+
+    # ------------------------------------------------------------------
+
+    def run_job(
+        self,
+        rdd: RDD,
+        func: Callable[[Iterator], Any],
+        description: str = "",
+    ) -> list[Any]:
+        """Run ``func`` over every partition of ``rdd`` (one job)."""
+        return self.scheduler.run_job(rdd, func, description)
+
+    def simulated_time(self) -> float:
+        """Simulated cluster time of everything run on this context."""
+        return self.metrics.simulated_time(self.cluster)

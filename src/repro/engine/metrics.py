@@ -1,0 +1,274 @@
+"""Job metrics and the simulated-time cost model.
+
+Every action (collect, count, ...) runs as a *job*.  The engine records,
+per job and cumulatively:
+
+* tasks launched and stages executed,
+* records and measured bytes pushed through each shuffle,
+* wall-clock compute time actually spent in user functions.
+
+From those measurements :meth:`MetricsRegistry.simulated_time` derives the
+time the same job would take on a :class:`~repro.engine.cluster.ClusterSpec`:
+compute parallelizes over the cluster's cores, every task pays a launch
+overhead (amortized over the available slots), and every shuffled byte
+crosses the network at the spec's bandwidth.  The benchmark harness reports
+both wall-clock and simulated time; the paper-shape comparisons use the
+simulated time because that is where data-shuffling costs, the paper's
+dominant factor, live.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .cluster import ClusterSpec
+
+
+@dataclass
+class StageCost:
+    """Per-stage task timing, for makespan-aware simulation."""
+
+    num_tasks: int
+    total_seconds: float
+    longest_task_seconds: float
+
+
+@dataclass
+class JobMetrics:
+    """Counters for one job (one action call)."""
+
+    job_id: int
+    description: str = ""
+    stages: int = 0
+    tasks: int = 0
+    shuffles: int = 0
+    shuffle_records: int = 0
+    shuffle_bytes: int = 0
+    compute_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    stage_costs: list = field(default_factory=list)
+
+    def merge(self, other: "JobMetrics") -> None:
+        """Accumulate ``other``'s counters into this one."""
+        self.stages += other.stages
+        self.tasks += other.tasks
+        self.shuffles += other.shuffles
+        self.shuffle_records += other.shuffle_records
+        self.shuffle_bytes += other.shuffle_bytes
+        self.compute_seconds += other.compute_seconds
+        self.wall_seconds += other.wall_seconds
+        self.stage_costs.extend(other.stage_costs)
+
+    def simulated_time(self, cluster: ClusterSpec) -> float:
+        """Time this job would take on ``cluster`` (seconds).
+
+        Stages serialize at shuffle boundaries, so each stage contributes
+        its *makespan lower bound*::
+
+            stage  = max(total_compute / total_cores, longest_task)
+            launch = overhead * ceil(tasks / total_cores)   per stage
+            network = shuffle_bytes / network_bandwidth     per job
+
+        The ``longest_task`` term is what exposes key skew: a join whose
+        key has only G distinct values runs on at most G cores no matter
+        how large the cluster is (this is the dominant cost of the
+        paper's join+group-by matrix multiplication, whose join key is
+        the shared dimension).  Measured compute is multiplied by the
+        cluster's ``compute_scale`` before conversion.
+        """
+        cores = max(1, cluster.total_cores)
+        scale = cluster.compute_scale
+        launch = 0.0
+        compute = 0.0
+        attributed = 0.0
+        for stage in self.stage_costs:
+            launch += cluster.task_launch_overhead * math.ceil(
+                stage.num_tasks / cores
+            )
+            compute += max(
+                stage.total_seconds * scale / cores,
+                stage.longest_task_seconds * scale,
+            )
+            attributed += stage.total_seconds
+        # Compute recorded outside any stage (e.g. baseline kernel-profile
+        # adjustments) parallelizes ideally.
+        extra = max(0.0, self.compute_seconds - attributed)
+        compute += extra * scale / cores
+        network = self.shuffle_bytes / cluster.network_bandwidth
+        return launch + compute + network
+
+    def summary(self) -> str:
+        """One-line human-readable counter summary."""
+        return (
+            f"job {self.job_id} [{self.description}]: "
+            f"{self.stages} stages, {self.tasks} tasks, "
+            f"{self.shuffles} shuffles "
+            f"({self.shuffle_records} records / {self.shuffle_bytes} bytes), "
+            f"compute {self.compute_seconds:.4f}s, wall {self.wall_seconds:.4f}s"
+        )
+
+
+class TaskTimer:
+    """Times one task, excluding nested timed work.
+
+    Lazy evaluation means a consumer task can trigger an entire upstream
+    shuffle inside its own timer; the shuffle's map tasks are timed (and
+    recorded as their own stage) by their own timers, so this timer's
+    ``own_seconds`` subtracts all nested timed intervals to avoid double
+    counting.
+    """
+
+    def __init__(self, registry: "MetricsRegistry"):
+        self._registry = registry
+        self._start = 0.0
+        self.nested_seconds = 0.0
+        self.own_seconds = 0.0
+
+    def __enter__(self) -> "TaskTimer":
+        self._registry._timer_stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        elapsed = time.perf_counter() - self._start
+        self.own_seconds = max(0.0, elapsed - self.nested_seconds)
+        stack = self._registry._timer_stack
+        stack.pop()
+        if stack:
+            stack[-1].nested_seconds += elapsed
+
+
+@dataclass
+class MetricsRegistry:
+    """Cumulative metrics for one :class:`~repro.engine.context.EngineContext`.
+
+    The registry keeps the full per-job history plus a running total.  A
+    job is opened by the scheduler around each action; nested actions
+    (e.g. a ``count`` issued while building a broadcast inside another
+    job) merge into the enclosing job.
+    """
+
+    total: JobMetrics = field(default_factory=lambda: JobMetrics(job_id=-1, description="total"))
+    jobs: list[JobMetrics] = field(default_factory=list)
+    _active: Optional[JobMetrics] = None
+    _next_job_id: int = 0
+    _timers: threading.local = field(default_factory=threading.local)
+
+    @property
+    def _timer_stack(self) -> list:
+        """Per-thread timer stack (threaded runners time independently)."""
+        stack = getattr(self._timers, "stack", None)
+        if stack is None:
+            stack = []
+            self._timers.stack = stack
+        return stack
+
+    def task_timer(self) -> TaskTimer:
+        """A context manager timing one task (nested work excluded)."""
+        return TaskTimer(self)
+
+    def inflate_task(self, seconds: float) -> None:
+        """Add simulated-only compute to the innermost running task.
+
+        Used by baselines whose local kernels would be slower on the
+        simulated substrate than the NumPy that executed here (e.g. the
+        MLlib workalike's pure-JVM Breeze gemm): the extra time joins the
+        task's own time, so stage makespans and skew see it.  Outside any
+        task it degrades to plain :meth:`record_compute`.
+        """
+        stack = self._timer_stack
+        if stack:
+            stack[-1].nested_seconds -= seconds
+        else:
+            self.record_compute(seconds)
+
+    @contextmanager
+    def job(self, description: str = "") -> Iterator[JobMetrics]:
+        """Open a job scope; counters recorded inside attribute to it."""
+        if self._active is not None:
+            # Nested action: account into the already-active job.
+            yield self._active
+            return
+        metrics = JobMetrics(job_id=self._next_job_id, description=description)
+        self._next_job_id += 1
+        self._active = metrics
+        start = time.perf_counter()
+        try:
+            yield metrics
+        finally:
+            metrics.wall_seconds = time.perf_counter() - start
+            self._active = None
+            self.jobs.append(metrics)
+            self.total.merge(metrics)
+
+    @property
+    def current(self) -> JobMetrics:
+        """The active job, or the cumulative total outside any job."""
+        return self._active if self._active is not None else self.total
+
+    def record_stage(
+        self, num_tasks: int, task_seconds: Optional[list[float]] = None
+    ) -> None:
+        """Record a stage of ``num_tasks`` tasks.
+
+        ``task_seconds`` carries the per-task compute times; when given,
+        the times are also accumulated into ``compute_seconds`` and the
+        stage's makespan data is kept for the cost model.
+        """
+        job = self.current
+        job.stages += 1
+        job.tasks += num_tasks
+        if task_seconds:
+            total = sum(task_seconds)
+            job.compute_seconds += total
+            job.stage_costs.append(
+                StageCost(num_tasks, total, max(task_seconds))
+            )
+        else:
+            job.stage_costs.append(StageCost(num_tasks, 0.0, 0.0))
+
+    def record_shuffle(self, records: int, nbytes: int) -> None:
+        """Record one shuffle's measured volume."""
+        self.current.shuffles += 1
+        self.current.shuffle_records += records
+        self.current.shuffle_bytes += nbytes
+
+    def record_compute(self, seconds: float) -> None:
+        """Record wall time spent inside user functions."""
+        self.current.compute_seconds += seconds
+
+    def simulated_time(self, cluster: ClusterSpec) -> float:
+        """Simulated time of everything recorded so far on ``cluster``."""
+        return self.total.simulated_time(cluster)
+
+    def reset(self) -> None:
+        """Forget all history (used between benchmark repetitions)."""
+        self.total = JobMetrics(job_id=-1, description="total")
+        self.jobs.clear()
+        self._active = None
+        self._next_job_id = 0
+
+    def snapshot(self) -> JobMetrics:
+        """Copy of the cumulative totals, for before/after deltas."""
+        copy = JobMetrics(job_id=self.total.job_id, description=self.total.description)
+        copy.merge(self.total)
+        return copy
+
+    def delta_since(self, snapshot: JobMetrics) -> JobMetrics:
+        """Counters accumulated since ``snapshot`` was taken."""
+        delta = JobMetrics(job_id=-1, description="delta")
+        delta.merge(self.total)
+        delta.stages -= snapshot.stages
+        delta.tasks -= snapshot.tasks
+        delta.shuffles -= snapshot.shuffles
+        delta.shuffle_records -= snapshot.shuffle_records
+        delta.shuffle_bytes -= snapshot.shuffle_bytes
+        delta.compute_seconds -= snapshot.compute_seconds
+        delta.wall_seconds -= snapshot.wall_seconds
+        delta.stage_costs = delta.stage_costs[len(snapshot.stage_costs):]
+        return delta

@@ -1,0 +1,89 @@
+"""Job execution: runs one task per partition and times it.
+
+Wide dependencies materialize themselves (see ``ShuffledRDD`` /
+``CoGroupedRDD``), so by the time a result-stage task pulls its partition,
+all upstream shuffles have run and been accounted.  What remains for the
+scheduler is the result stage itself: evaluate ``func`` over every
+partition of the target RDD, recording task count and compute time.
+
+Tasks can optionally run on a thread pool (``ThreadedTaskRunner``); the
+default is the deterministic serial runner, which on a single-core machine
+is also the fastest.  Simulated parallelism is applied afterwards by the
+cost model in :mod:`repro.engine.metrics`, not by real threads.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .rdd import RDD
+
+
+class TaskRunner:
+    """Strategy for executing the tasks of one stage."""
+
+    def run_stage(
+        self, tasks: list[Callable[[], Any]]
+    ) -> list[Any]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SerialTaskRunner(TaskRunner):
+    """Runs tasks one after another (deterministic, default)."""
+
+    def run_stage(self, tasks: list[Callable[[], Any]]) -> list[Any]:
+        return [task() for task in tasks]
+
+
+class ThreadedTaskRunner(TaskRunner):
+    """Runs tasks on a thread pool.
+
+    Useful when task bodies release the GIL (NumPy kernels); the engine's
+    correctness does not depend on it.
+    """
+
+    def __init__(self, max_workers: int = 4):
+        self._max_workers = max_workers
+
+    def run_stage(self, tasks: list[Callable[[], Any]]) -> list[Any]:
+        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+            return list(pool.map(lambda t: t(), tasks))
+
+
+class DAGScheduler:
+    """Executes actions as jobs of timed per-partition tasks."""
+
+    def __init__(self, metrics, runner: TaskRunner | None = None):
+        self._metrics = metrics
+        self._runner = runner or SerialTaskRunner()
+
+    def run_job(
+        self,
+        rdd: "RDD",
+        func: Callable[[Iterator], Any],
+        description: str = "",
+    ) -> list[Any]:
+        """Evaluate ``func`` over each partition of ``rdd``.
+
+        Returns one result per partition, in partition order.
+        """
+
+        task_seconds: list[float] = [0.0] * rdd.num_partitions
+
+        def make_task(split: int) -> Callable[[], Any]:
+            def task() -> Any:
+                with self._metrics.task_timer() as timer:
+                    result = func(rdd.iterator(split))
+                task_seconds[split] = timer.own_seconds
+                return result
+
+            return task
+
+        with self._metrics.job(description):
+            tasks = [make_task(split) for split in range(rdd.num_partitions)]
+            results = self._runner.run_stage(tasks)
+            self._metrics.record_stage(len(tasks), task_seconds)
+            return results

@@ -1,0 +1,29 @@
+"""Machine-learning workloads built on the SAC public API."""
+
+from .factorization import (
+    FactorizationState, GAMMA, LAMBDA, mllib_factorization_step,
+    reconstruction_error, sac_factorization_step, sac_factorize,
+)
+from .kmeans import KMeansResult, kmeans, kmeans_assign
+from .routines import (
+    PowerIterationResult, gradient_descent_linear_regression,
+    logistic_regression, pagerank, power_iteration,
+)
+
+__all__ = [
+    "FactorizationState",
+    "GAMMA",
+    "KMeansResult",
+    "LAMBDA",
+    "PowerIterationResult",
+    "gradient_descent_linear_regression",
+    "kmeans",
+    "logistic_regression",
+    "kmeans_assign",
+    "mllib_factorization_step",
+    "pagerank",
+    "power_iteration",
+    "reconstruction_error",
+    "sac_factorization_step",
+    "sac_factorize",
+]

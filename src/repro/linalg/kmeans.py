@@ -1,0 +1,131 @@
+"""K-means clustering written entirely as array comprehensions.
+
+K-means is the paper's kind of workload: it needs an *argmin* — an
+operation no fixed linear-algebra library API offers directly — yet it
+decomposes into comprehensions because the language is SQL-expressive:
+
+1. pairwise squared distances via the expansion
+   ``‖x − c‖² = ‖x‖² − 2·x·c + ‖c‖²`` (one group-by-join multiply and
+   two broadcast joins);
+2. the argmin as a row-``min/`` reduction followed by an equality join
+   of the distance matrix with its own row minima;
+3. new centroids as a group-by aggregation of member coordinates.
+
+Each step is a compiled query; the host loop iterates (Section 8's
+pattern for iterative algorithms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import ops
+from ..core.session import SacSession
+from ..storage import TiledMatrix
+
+
+@dataclass
+class KMeansResult:
+    """Final centroids, per-point assignments, and the objective."""
+
+    centroids: np.ndarray
+    assignments: np.ndarray
+    inertia: float
+    iterations: int
+
+
+def kmeans_assign(
+    session: SacSession, points: TiledMatrix, centroids: TiledMatrix
+) -> list[tuple[int, int]]:
+    """Assign each point to its nearest centroid (one compiled round).
+
+    Returns ``(point, centroid)`` pairs.  Ties break toward the lowest
+    centroid index via the final ``min/`` group-by.
+    """
+    cross = ops.multiply_nt(session, points, centroids)  # X · Cᵀ, GBJ plan
+    point_norms = session.run(
+        "tiled_vector(n)[ (i, +/s) | ((i,d),x) <- X, let s = x*x, group by i ]",
+        X=points, n=points.rows,
+    )
+    centroid_norms = session.run(
+        "tiled_vector(k)[ (c, +/s) | ((c,d),v) <- C, let s = v*v, group by c ]",
+        C=centroids, k=centroids.rows,
+    )
+    distances = session.run(
+        "tiled(n, k)[ ((i,c), pn - 2.0*g + cn) | ((i,c),g) <- G,"
+        " (ii,pn) <- PN, ii == i, (cc,cn) <- CN, cc == c ]",
+        G=cross, PN=point_norms, CN=centroid_norms,
+        n=points.rows, k=centroids.rows,
+    )
+    row_min = session.run(
+        "tiled_vector(n)[ (i, min/d) | ((i,c),d) <- D, group by i ]",
+        D=distances, n=points.rows,
+    )
+    # Argmin: join the distance matrix with its own row minima; ties
+    # collapse to the smallest centroid index.
+    return session.run(
+        "[ (i, min/c) | ((i,c),d) <- D, (ii,m) <- M, ii == i, d <= m,"
+        " group by i ]",
+        D=distances, M=row_min,
+    )
+
+
+def kmeans(
+    session: SacSession,
+    points: TiledMatrix,
+    initial_centroids: np.ndarray,
+    iterations: int = 10,
+    tolerance: float = 1e-6,
+) -> KMeansResult:
+    """Lloyd's algorithm with every step a compiled comprehension."""
+    points.cache()
+    centroids = np.array(initial_centroids, dtype=np.float64)
+    k, dims = centroids.shape
+    assignments: list[tuple[int, int]] = []
+    steps = 0
+    for steps in range(1, iterations + 1):
+        centroid_storage = session.tiled(centroids)
+        assignments = kmeans_assign(session, points, centroid_storage)
+        # New centroids: mean of member coordinates, one group-by each
+        # for the sums and the counts.
+        sums = session.run(
+            "matrix(k, dims)[ ((c,d), +/x) | (i,c) <- A, ((ii,d),x) <- X,"
+            " ii == i, group by (c,d) ]",
+            A=session.rdd(assignments), X=points, k=k, dims=dims,
+        )
+        counts = session.run(
+            "vector(k)[ (c, count/i) | (i,c) <- A, group by c ]",
+            A=session.rdd(assignments), k=k,
+        )
+        new_centroids = centroids.copy()
+        for c in range(k):
+            if counts.data[c] > 0:
+                new_centroids[c] = sums.data[c] / counts.data[c]
+        shift = float(np.abs(new_centroids - centroids).max())
+        centroids = new_centroids
+        if shift < tolerance:
+            break
+    inertia = _inertia(session, points, centroids, assignments)
+    assignment_array = np.zeros(points.rows, dtype=np.int64)
+    for i, c in assignments:
+        assignment_array[i] = c
+    return KMeansResult(centroids, assignment_array, inertia, steps)
+
+
+def _inertia(
+    session: SacSession,
+    points: TiledMatrix,
+    centroids: np.ndarray,
+    assignments: list[tuple[int, int]],
+) -> float:
+    """Σ over points of squared distance to the assigned centroid."""
+    centroid_of = dict(assignments)
+    local_points = points.to_numpy()
+    return float(
+        sum(
+            np.sum((local_points[i] - centroids[c]) ** 2)
+            for i, c in centroid_of.items()
+        )
+    )

@@ -1,0 +1,10 @@
+"""MLlib-workalike distributed linear algebra (the comparison baseline).
+
+Reproduces Spark MLlib's ``BlockMatrix`` on our engine with the same
+plan shapes as the real implementation, so SAC and the baseline compete
+on the same substrate exactly as they both run on Spark in the paper.
+"""
+
+from .blockmatrix import PURE_JVM_BREEZE, BlockMatrix, KernelProfile
+
+__all__ = ["BlockMatrix", "KernelProfile", "PURE_JVM_BREEZE"]

@@ -1,0 +1,39 @@
+"""Translation of array comprehensions to distributed engine plans.
+
+Implements the paper's translation scheme: Section 4's generic RDD rules
+(13/14) in :mod:`rdd_rules`, Section 5's block-array rules in
+:mod:`tiling` (5.1–5.3) and :mod:`groupby_join` (5.4), with rule
+dispatch in :mod:`planner` and NumPy tile kernels in :mod:`kernels`.
+"""
+
+from .analysis import CompInfo, GenInfo, JoinCond, ReductionSlot, analyze
+from .codegen import explain
+from .kernels import KernelUnsupported, compile_vectorized, contract, gather
+from .plan import (
+    Plan, RULE_COORDINATE, RULE_GROUP_BY_JOIN, RULE_LOCAL, RULE_LOCAL_CODEGEN,
+    RULE_PRESERVE_TILING, RULE_TILED_REDUCE, RULE_TILED_SHUFFLE,
+)
+from .planner import PlannerOptions, plan_query
+
+__all__ = [
+    "CompInfo",
+    "GenInfo",
+    "JoinCond",
+    "KernelUnsupported",
+    "Plan",
+    "PlannerOptions",
+    "RULE_COORDINATE",
+    "RULE_GROUP_BY_JOIN",
+    "RULE_LOCAL",
+    "RULE_LOCAL_CODEGEN",
+    "RULE_PRESERVE_TILING",
+    "RULE_TILED_REDUCE",
+    "RULE_TILED_SHUFFLE",
+    "ReductionSlot",
+    "analyze",
+    "compile_vectorized",
+    "contract",
+    "explain",
+    "gather",
+    "plan_query",
+]

@@ -1,0 +1,30 @@
+"""Human-readable code reports for compiled queries.
+
+The paper's system emits Scala source at compile time; the closest
+useful Python analogue is an inspectable report: the query, its
+desugared and normalized forms, the chosen translation rule, and the
+Spark-like pseudocode of the generated program.  ``explain`` produces
+that report; ``SacSession.explain`` exposes it to users.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..comprehension.ast import Expr, to_source
+from .plan import Plan
+
+
+def explain(
+    plan: Plan,
+    original: Optional[Expr] = None,
+    normalized: Optional[Expr] = None,
+) -> str:
+    """Render a full compilation report for one query."""
+    sections = []
+    if original is not None:
+        sections.append("query:\n  " + to_source(original))
+    if normalized is not None and normalized != original:
+        sections.append("normalized:\n  " + to_source(normalized))
+    sections.append(plan.explain())
+    return "\n".join(sections)

@@ -1,0 +1,269 @@
+"""The group-by-join translation (paper Section 5.4).
+
+A *group-by-join* is a join of two arrays followed by a group-by whose
+key pairs one dimension from each side, and an aggregation::
+
+    tiled(n,m)[ (k, ⊕/c) | ((i,j),a) <- A, ((ii,jj),b) <- B,
+                kx(i,j) == ky(ii,jj), let c = h(a,b),
+                group by k: (gx(i,j), gy(ii,jj)) ]
+
+Matrix multiplication is the canonical instance (gx = i, kx = k,
+ky = kk, gy = j, h = a*b, ⊕ = +).  Instead of shuffling one partial
+product tile per (i, k, j) triple — what the Section 5.3 translation
+does — this rule replicates each A-tile across the result's column
+blocks and each B-tile across the result's row blocks, cogroups on the
+*result* coordinate, and evaluates all contractions reducer-side,
+accumulating directly into one output tile.  This generalizes the SUMMA
+algorithm; total shuffle volume is ``|A|·m/N + |B|·n/N`` tiles instead
+of ``n·l·m/N³`` partial products.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..comprehension.ast import Var, free_vars, to_source
+from ..comprehension.monoids import monoid
+from ..engine import GridPartitioner
+from .kernels import combine_tiles, contract
+from .plan import Plan, RULE_GROUP_BY_JOIN
+from .tiling import TiledSetup, _out_classes, _result_storage
+
+
+def plan_group_by_join(
+    setup: TiledSetup, builder: str, args: tuple,
+    broadcast_threshold: int = 0,
+) -> Optional[Plan]:
+    """Match and translate the group-by-join pattern; None if not a GBJ."""
+    info = setup.info
+    if info.group_key_vars is None or info.post_group_quals:
+        return None
+    if len(setup.gens) != 2 or len(info.slots) != 1 or info.residual_guards:
+        return None
+    if len(info.joins) != 1:
+        return None
+    key_exprs = info.group_key_exprs or []
+    if len(key_exprs) != 2:
+        return None
+    out_classes = _out_classes(setup, key_exprs)
+    if out_classes is None:
+        return None
+
+    left_gen, right_gen = setup.gens
+    # The group key must take one dimension from each generator.
+    gx, gy = key_exprs
+    assert isinstance(gx, Var) and isinstance(gy, Var)
+    if gx.name in left_gen.index_vars and gy.name in right_gen.index_vars:
+        pass
+    elif gx.name in right_gen.index_vars and gy.name in left_gen.index_vars:
+        left_gen, right_gen = right_gen, left_gen
+        out_classes = out_classes  # classes already dimension-ordered by key
+    else:
+        return None
+
+    # The join condition must link the two generators on single index vars.
+    join = info.joins[0]
+    sides = {join.left_gen: join.left, join.right_gen: join.right}
+    left_pos = setup.gens.index(left_gen)
+    right_pos = setup.gens.index(right_gen)
+    kx, ky = sides.get(left_pos), sides.get(right_pos)
+    if not (isinstance(kx, Var) and isinstance(ky, Var)):
+        return None
+    if kx.name not in left_gen.index_vars or ky.name not in right_gen.index_vars:
+        return None
+
+    slot = info.slots[0]
+    mon = monoid(slot.monoid)
+    if mon.np_combine is None:
+        return None
+    value_vars = (left_gen.value_var, right_gen.value_var)
+    if None in value_vars or not free_vars(slot.expr) <= set(value_vars):
+        return None
+    residual = info.residual_value
+    if not (isinstance(residual, Var) and residual.name == slot.slot_var):
+        return None  # non-identity f is handled by the 5.3 rule
+
+    row_class, col_class = out_classes
+    grid_rows = setup.grid_size(row_class)
+    grid_cols = setup.grid_size(col_class)
+
+    left_row_axis = left_gen.index_vars.index(gx.name if gx.name in left_gen.index_vars else gy.name)
+    left_join_axis = left_gen.index_vars.index(kx.name)
+    right_col_axis = right_gen.index_vars.index(gy.name if gy.name in right_gen.index_vars else gx.name)
+    right_join_axis = right_gen.index_vars.index(ky.name)
+
+    class_names = {cls: f"c{cls}" for cls in setup.class_dim}
+    left_axes = tuple(class_names[c] for c in left_gen.axis_classes)
+    right_axes = tuple(class_names[c] for c in right_gen.axis_classes)
+    out_axes = (class_names[row_class], class_names[col_class])
+    term = slot.expr
+
+    # Map-side-join extension: broadcast a small side instead of
+    # replicating both (see PlannerOptions.broadcast_threshold).
+    if broadcast_threshold > 0:
+        def tile_count(gen):
+            storage = gen.storage
+            if hasattr(storage, "grid_rows"):
+                return storage.grid_rows * storage.grid_cols
+            return storage.grid_size
+
+        left_tiles = tile_count(left_gen)
+        right_tiles = tile_count(right_gen)
+        small, large, small_is_left = None, None, True
+        if right_tiles <= broadcast_threshold:
+            small, large, small_is_left = right_gen, left_gen, False
+        elif left_tiles <= broadcast_threshold:
+            small, large, small_is_left = left_gen, right_gen, True
+        if small is not None:
+            return _broadcast_plan(
+                setup, builder, args, small, large, small_is_left,
+                left_gen, right_gen,
+                (left_row_axis, left_join_axis, right_col_axis, right_join_axis),
+                (left_axes, right_axes, out_axes), term, mon, value_vars,
+            )
+
+    def replicate_left(record):
+        coords, tile = record
+        row = coords[left_row_axis]
+        k = coords[left_join_axis]
+        return [((row, q), (k, tile)) for q in range(grid_cols)]
+
+    def replicate_right(record):
+        coords, tile = record
+        col = coords[right_col_axis]
+        k = coords[right_join_axis]
+        return [((p, col), (k, tile)) for p in range(grid_rows)]
+
+    left_rdd = left_gen.tile_records().flat_map(replicate_left)
+    right_rdd = right_gen.tile_records().flat_map(replicate_right)
+
+    def reduce_destination(record):
+        key, (left_tiles, right_tiles) = record
+        by_k: dict[int, list[np.ndarray]] = {}
+        for k, tile in right_tiles:
+            by_k.setdefault(k, []).append(tile)
+        out: Optional[np.ndarray] = None
+        for k, left_tile in left_tiles:
+            for right_tile in by_k.get(k, ()):
+                partial = contract(
+                    left_tile, right_tile, left_axes, right_axes, out_axes,
+                    term, mon, (value_vars[0], value_vars[1]),
+                )
+                out = partial if out is None else combine_tiles(mon, out, partial)
+        if out is None:
+            return None
+        return key, out
+
+    def build():
+        engine = left_gen.tiles.ctx
+        partitioner = GridPartitioner(
+            grid_rows, grid_cols, engine.default_parallelism
+        )
+        cogrouped = left_rdd.cogroup(right_rdd, partitioner=partitioner)
+        tiles_rdd = (
+            cogrouped.map(reduce_destination).filter(lambda r: r is not None)
+        )
+        return _result_storage(setup, builder, args, tiles_rdd)
+
+    return Plan(
+        rule=RULE_GROUP_BY_JOIN,
+        description=(
+            "group-by-join (SUMMA): replicate row/column tile bands, "
+            "cogroup on result coordinates, contract reducer-side"
+        ),
+        thunk=build,
+        pseudocode=(
+            "Tiled(n, m, rdd[ (k, V) | (k, (__a, __b)) <- As.cogroup(Bs) ])\n"
+            "As = A.tiles.flatMap { ((i,k),a) => (0 until m/N).map(q => ((gx(i,k),q),(kx(i,k),a))) }\n"
+            "Bs = B.tiles.flatMap { ((kk,j),b) => (0 until n/N).map(p => ((p,gy(kk,j)),(ky(kk,j),b))) }\n"
+            f"V accumulates ⊕/{to_source(term)} over matching tile pairs"
+        ),
+        details={
+            "replication": f"A x{grid_cols}, B x{grid_rows}",
+            "monoid": mon.name,
+        },
+    )
+
+
+def _broadcast_plan(
+    setup: TiledSetup,
+    builder: str,
+    args: tuple,
+    small,
+    large,
+    small_is_left: bool,
+    left_gen,
+    right_gen,
+    axes_positions: tuple[int, int, int, int],
+    contract_axes,
+    term,
+    mon,
+    value_vars,
+) -> Plan:
+    """Map-side join: broadcast the small side, stream the large side."""
+    left_row_axis, left_join_axis, right_col_axis, right_join_axis = axes_positions
+    left_axes, right_axes, out_axes = contract_axes
+
+    def build():
+        engine = large.tiles.ctx
+        # Collect and broadcast the small side, keyed by its join coord.
+        by_join: dict[int, list] = {}
+        if small_is_left:
+            for coords, tile in small.tile_records().collect():
+                by_join.setdefault(coords[left_join_axis], []).append(
+                    (coords[left_row_axis], tile)
+                )
+        else:
+            for coords, tile in small.tile_records().collect():
+                by_join.setdefault(coords[right_join_axis], []).append(
+                    (coords[right_col_axis], tile)
+                )
+        broadcast = engine.broadcast(by_join)
+
+        def contract_large(record):
+            coords, big_tile = record
+            out = []
+            if small_is_left:
+                k = coords[right_join_axis]
+                col = coords[right_col_axis]
+                for row, small_tile in broadcast.value.get(k, ()):
+                    partial = contract(
+                        small_tile, big_tile, left_axes, right_axes, out_axes,
+                        term, mon, (value_vars[0], value_vars[1]),
+                    )
+                    out.append(((row, col), partial))
+            else:
+                k = coords[left_join_axis]
+                row = coords[left_row_axis]
+                for col, small_tile in broadcast.value.get(k, ()):
+                    partial = contract(
+                        big_tile, small_tile, left_axes, right_axes, out_axes,
+                        term, mon, (value_vars[0], value_vars[1]),
+                    )
+                    out.append(((row, col), partial))
+            return out
+
+        tiles_rdd = (
+            large.tile_records()
+            .flat_map(contract_large)
+            .reduce_by_key(lambda a, b: combine_tiles(mon, a, b))
+        )
+        return _result_storage(setup, builder, args, tiles_rdd)
+
+    side = "left" if small_is_left else "right"
+    return Plan(
+        rule=RULE_GROUP_BY_JOIN,
+        description=(
+            f"group-by-join (broadcast): small {side} side broadcast to "
+            "every task; partial tiles merged with reduceByKey"
+        ),
+        thunk=build,
+        pseudocode=(
+            "small = sc.broadcast(S.tiles.collect().groupBy(join coord))\n"
+            "Tiled(n, m, L.tiles.flatMap { t => small(k(t)).map(s => (key, contract(s, t))) }\n"
+            "            .reduceByKey(⊗′))"
+        ),
+        details={"broadcast_side": side, "monoid": mon.name},
+    )

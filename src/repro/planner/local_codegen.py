@@ -1,0 +1,756 @@
+"""Local code generation: comprehensions → imperative loop programs.
+
+Sections 2–3 of the paper translate array comprehensions into *efficient
+imperative programs with memory effects*: sparsifiers inline into index
+loops over the storage, builders inline into direct array writes, and a
+group-by whose key is the output index becomes in-place accumulation
+into a pre-allocated buffer — the paper's matrix multiplication becomes
+the triple loop ``V[i, j] += A[i, k] * B[k, j]``.
+
+This module performs that translation for the in-memory storages: it
+emits a Python function whose body is exactly those loops (inspectable
+via ``Plan.pseudocode``), compiles it with ``compile``/``exec``, and
+runs it.  The generated code is differential-tested against the
+reference interpreter; the planner uses it for local queries whenever
+the comprehension fits, falling back to the interpreter otherwise.
+
+Supported: generators over dense/COO/CSR/CSC storages, raw ndarrays,
+ranges, and in-memory association lists; guards; lets; one trailing
+group-by.  Aggregations accumulate into output-shaped NumPy buffers when
+the group key is the builder index (the Section 3 special case, ``+``
+and ``*`` reductions) and into a hash table otherwise (Equation 12).
+Guards compile to structured nesting, so they are valid at any position.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import fields as dataclass_fields
+from typing import Any, Callable, Iterator, Optional
+
+import numpy as np
+
+from ..comprehension.ast import (
+    BinOp, BuilderApp, Call, Comprehension, Expr, Field, Generator,
+    GroupByQual, Guard, IfExpr, Index, LetQual, Lit, Pattern, Qualifier,
+    RangeExpr, Reduce, TupleExpr, UnOp, Var, VarPat, TuplePat, WildPat,
+    free_vars, pattern_vars,
+)
+from ..comprehension.interpreter import _int_div as _runtime_div
+from ..comprehension.monoids import monoid
+from ..storage import (
+    CooMatrix, CooVector, CscMatrix, CsrMatrix, DenseMatrix, DenseVector,
+)
+from ..storage.registry import REGISTRY, BuildContext
+
+
+class CodegenUnsupported(Exception):
+    """The query has no local loop-code translation; use the interpreter."""
+
+
+#: Builders whose results wrap one output buffer the generated code can
+#: write or accumulate into directly, with their index arity.
+_BUFFER_BUILDERS = {"vector": 1, "matrix": 2, "array": 1}
+
+_PY_BINOPS = {
+    "+": "+", "-": "-", "*": "*", "%": "%",
+    "==": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+    "&&": "and", "||": "or",
+}
+
+_PY_CALLS = {"abs", "min", "max", "len", "exp", "log", "sqrt", "floor",
+             "ceil", "pow"}
+
+_ACCUM_OPS = {"+", "*"}
+
+_COMPILED_MONOIDS = {"+", "*", "min", "max", "&&", "||"}
+
+
+def compile_local(
+    expr: Expr,
+    env: dict[str, Any],
+    build_context: Optional[BuildContext] = None,
+) -> tuple[str, Callable[[], Any]]:
+    """Generate and compile loop code for a local query.
+
+    Returns ``(source, thunk)``; raises :class:`CodegenUnsupported` when
+    the query is outside the supported fragment.
+    """
+    context = build_context or BuildContext()
+    generator = _Codegen(env)
+    source = generator.generate(expr)
+    namespace: dict[str, Any] = {
+        "np": np,
+        "_div": _runtime_div,
+        "_env": env,
+        "_build": lambda name, args, items: REGISTRY.build(
+            name, args, items, context
+        ),
+        "_wrap_matrix": lambda buf, n, m: DenseMatrix(int(n), int(m), buf.ravel()),
+        "_wrap_vector": lambda buf, n: DenseVector(buf),
+        "exp": math.exp, "log": math.log, "sqrt": math.sqrt,
+        "floor": math.floor, "ceil": math.ceil,
+    }
+    code = compile(source, "<sac-codegen>", "exec")
+    exec(code, namespace)
+    return source, namespace["_query"]
+
+
+class _Codegen:
+    """Emits the body of one ``_query()`` function."""
+
+    def __init__(self, env: dict[str, Any]):
+        self.env = env
+        self.lines: list[str] = []
+        self.depth = 1
+        self._temp = 0
+        #: DSL names bound by patterns/lets → generated Python names.
+        self.renames: dict[str, str] = {}
+
+    # -- infrastructure -------------------------------------------------
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.depth + line)
+
+    def fresh(self, hint: str = "t") -> str:
+        self._temp += 1
+        return f"_{hint}{self._temp}"
+
+    def bind_name(self, name: str) -> str:
+        self.renames[name] = name.replace("$", "_d")
+        return self.renames[name]
+
+    # -- entry point ------------------------------------------------------
+
+    def generate(self, expr: Expr) -> str:
+        if isinstance(expr, BuilderApp) and isinstance(expr.source, Comprehension):
+            self._generate_builder(expr.name, expr.args, expr.source)
+        elif isinstance(expr, Reduce) and isinstance(expr.expr, Comprehension):
+            self._generate_total_reduce(expr.monoid, expr.expr)
+        elif isinstance(expr, Comprehension):
+            self._generate_list(expr)
+        else:
+            raise CodegenUnsupported(f"not a query form: {type(expr).__name__}")
+        return "\n".join(["def _query():"] + self.lines) + "\n"
+
+    # -- query forms ---------------------------------------------------------
+
+    def _generate_builder(
+        self, builder: str, args: tuple[Expr, ...], comp: Comprehension
+    ) -> None:
+        self._check_shadowing(comp)
+        arg_names = []
+        for arg in args:
+            name = self.fresh("dim")
+            self.emit(f"{name} = {self.expr(arg)}")
+            arg_names.append(name)
+
+        group_by = self._trailing_group_by(comp)
+        head_key, head_value = self._split_head(comp)
+
+        if builder in _BUFFER_BUILDERS and len(args) == _BUFFER_BUILDERS[builder]:
+            if group_by is not None:
+                done = self._try_buffer_group_by(
+                    builder, arg_names, comp, group_by, head_key, head_value
+                )
+                if done:
+                    return
+            else:
+                self._buffer_direct(builder, arg_names, comp, head_key, head_value)
+                return
+
+        items = self._collect_items(comp, group_by, head_key, head_value)
+        dims = ", ".join(arg_names)
+        trailing = "," if arg_names else ""
+        self.depth = 1
+        self.emit(f"return _build({builder!r}, ({dims}{trailing}), {items})")
+
+    def _generate_total_reduce(self, monoid_name: str, comp: Comprehension) -> None:
+        """§2's reduction builder: ``var b = 1⊕; [ b = b ⊕ v | ... ]; b``."""
+        self._check_shadowing(comp)
+        if self._trailing_group_by(comp) is not None:
+            raise CodegenUnsupported("reduction over a group-by comprehension")
+        acc = self.fresh("acc")
+        if monoid_name == "count":
+            self.emit(f"{acc} = 0")
+            self._loops(comp.qualifiers)
+            self.emit(f"{acc} = {acc} + 1")
+        elif monoid_name in _COMPILED_MONOIDS:
+            self.emit(f"{acc} = {_zero_literal(monoid_name)}")
+            self._loops(comp.qualifiers)
+            self.emit(
+                f"{acc} = " + _combine_py(monoid_name, acc, self.expr(comp.head))
+            )
+        else:
+            raise CodegenUnsupported(f"monoid {monoid_name!r}")
+        self.depth = 1
+        self.emit(f"return {acc}")
+
+    def _generate_list(self, comp: Comprehension) -> None:
+        self._check_shadowing(comp)
+        group_by = self._trailing_group_by(comp)
+        head_key, head_value = self._split_head(comp)
+        items = self._collect_items(comp, group_by, head_key, head_value)
+        self.depth = 1
+        self.emit(f"return {items}")
+
+    # -- group-by strategies ---------------------------------------------------
+
+    def _try_buffer_group_by(
+        self,
+        builder: str,
+        arg_names: list[str],
+        comp: Comprehension,
+        group_by: GroupByQual,
+        head_key: Optional[Expr],
+        head_value: Expr,
+    ) -> bool:
+        """§3's special case: accumulate straight into the output buffer.
+
+        Returns False (emitting nothing) when the shape does not fit, so
+        the caller can fall back to hash-table grouping.
+        """
+        key_vars = pattern_vars(group_by.pattern)  # type: ignore[arg-type]
+        key_parts = self._key_parts(head_key)
+        if [getattr(k, "name", None) for k in key_parts] != key_vars:
+            return False
+        if len(key_parts) != len(arg_names):
+            return False
+        slots = self._extract_slots(head_value)
+        if any(mon not in _ACCUM_OPS for mon, _g, _n in slots):
+            return False
+
+        shape = self._shape_tuple(arg_names)
+        acc_names = []
+        for mon, _g, _node in slots:
+            acc = self.fresh("acc")
+            acc_names.append(acc)
+            fill = "0.0" if mon == "+" else "1.0"
+            self.emit(f"{acc} = np.full({shape}, {fill})")
+
+        base_depth = self.depth
+        self._loops(self._quals_before_group_by(comp))
+        index = ", ".join(self.renames[v] for v in key_vars)
+        bounds = " and ".join(
+            f"0 <= {self.renames[v]} < {dim}"
+            for v, dim in zip(key_vars, arg_names)
+        )
+        self.emit(f"if {bounds}:")
+        self.depth += 1
+        for acc, (mon, g_expr, _node) in zip(acc_names, slots):
+            self.emit(f"{acc}[{index}] {mon}= {self.expr(g_expr)}")
+        self.depth = base_depth
+
+        by_node = {id(node): name for (_m, _g, node), name in zip(slots, acc_names)}
+        residual = self._render_with_slots(head_value, by_node)
+        self._emit_buffer_return(builder, arg_names, residual)
+        return True
+
+    def _buffer_direct(
+        self,
+        builder: str,
+        arg_names: list[str],
+        comp: Comprehension,
+        head_key: Optional[Expr],
+        head_value: Expr,
+    ) -> None:
+        """§2: direct writes ``V[e1, e2] = value`` with bound guards."""
+        key_parts = self._key_parts(head_key)
+        if len(key_parts) != len(arg_names):
+            raise CodegenUnsupported("key arity differs from builder dims")
+        out = self.fresh("out")
+        self.emit(f"{out} = np.zeros({self._shape_tuple(arg_names)})")
+        base_depth = self.depth
+        self._loops(comp.qualifiers)
+        key_temps = []
+        for part in key_parts:
+            temp = self.fresh("k")
+            self.emit(f"{temp} = {self.expr(part)}")
+            key_temps.append(temp)
+        bounds = " and ".join(
+            f"0 <= {temp} < {dim}" for temp, dim in zip(key_temps, arg_names)
+        )
+        self.emit(f"if {bounds}:")
+        self.depth += 1
+        self.emit(f"{out}[{', '.join(key_temps)}] = {self.expr(head_value)}")
+        self.depth = base_depth
+        self._emit_buffer_return(builder, arg_names, out)
+
+    def _collect_items(
+        self,
+        comp: Comprehension,
+        group_by: Optional[GroupByQual],
+        head_key: Optional[Expr],
+        head_value: Expr,
+    ) -> str:
+        """Equation (12): hash-table grouping; or a plain append loop."""
+        if group_by is None:
+            items = self.fresh("items")
+            self.emit(f"{items} = []")
+            base_depth = self.depth
+            self._loops(comp.qualifiers)
+            self.emit(f"{items}.append({self.expr(comp.head)})")
+            self.depth = base_depth
+            return items
+
+        key_vars = pattern_vars(group_by.pattern)  # type: ignore[arg-type]
+        slots = self._extract_slots(head_value)
+        groups = self.fresh("groups")
+        self.emit(f"{groups} = {{}}")
+        base_depth = self.depth
+        self._loops(self._quals_before_group_by(comp))
+        key = ", ".join(self.renames[v] for v in key_vars)
+        key_tuple = f"({key},)"
+        values = ", ".join(self.expr(g) for _m, g, _n in slots)
+        current = self.fresh("cur")
+        self.emit(f"{current} = {groups}.get({key_tuple})")
+        self.emit(f"if {current} is None:")
+        self.depth += 1
+        self.emit(f"{groups}[{key_tuple}] = [{values}]")
+        self.depth -= 1
+        self.emit("else:")
+        self.depth += 1
+        for position, (mon, g_expr, _node) in enumerate(slots):
+            self.emit(
+                f"{current}[{position}] = "
+                + _combine_py(mon, f"{current}[{position}]", self.expr(g_expr))
+            )
+        self.depth = base_depth
+
+        items = self.fresh("items")
+        slot_names = [self.fresh("agg") for _ in slots]
+        self.emit(f"{items} = []")
+        key_binder = ", ".join(self.bind_name(v) for v in key_vars)
+        slot_binder = ", ".join(slot_names)
+        self.emit(f"for ({key_binder},), ({slot_binder},) in {groups}.items():")
+        self.depth += 1
+        by_node = {id(node): name for (_m, _g, node), name in zip(slots, slot_names)}
+        residual = self._render_with_slots(head_value, by_node)
+        if head_key is not None:
+            self.emit(f"{items}.append(({self.expr(head_key)}, {residual}))")
+        else:
+            self.emit(f"{items}.append({residual})")
+        self.depth = base_depth
+        return items
+
+    # -- loop emission -----------------------------------------------------------
+
+    def _loops(self, qualifiers: tuple[Qualifier, ...]) -> None:
+        """Emit nested loops/conditionals; leaves ``self.depth`` inside."""
+        pins, consumed = self._plan_index_pins(qualifiers)
+        for position, qual in enumerate(qualifiers):
+            if isinstance(qual, Generator):
+                self._loop_for(qual, pins.get(position, {}))
+            elif isinstance(qual, LetQual):
+                self.emit(f"{self._pattern_target(qual.pattern)} = {self.expr(qual.expr)}")
+            elif isinstance(qual, Guard):
+                if position in consumed:
+                    continue
+                self.emit(f"if {self.expr(qual.expr)}:")
+                self.depth += 1
+            elif isinstance(qual, GroupByQual):
+                raise CodegenUnsupported("group-by must be trailing")
+
+    def _plan_index_pins(
+        self, qualifiers: tuple[Qualifier, ...]
+    ) -> tuple[dict[int, dict[int, Expr]], set[int]]:
+        """The paper's index merging: an equality guard between a loop
+        index of a dense traversal and an expression of already-bound
+        variables pins that axis (``kk = k``, ``j = i + 1``) with a
+        bounds check instead of looping it.
+
+        Returns ``{generator position: {axis: pinned expression}}`` plus
+        the set of consumed guard positions.
+        """
+        pins: dict[int, dict[int, Expr]] = {}
+        consumed: set[int] = set()
+        bound: set[str] = set()
+        for position, qual in enumerate(qualifiers):
+            if isinstance(qual, Generator):
+                axis_vars = self._dense_axis_vars(qual)
+                if axis_vars is not None:
+                    for axis, axis_var in enumerate(axis_vars):
+                        if axis_var is None:
+                            continue
+                        for later in range(position + 1, len(qualifiers)):
+                            if later in consumed:
+                                continue
+                            guard = qualifiers[later]
+                            if not isinstance(guard, Guard):
+                                continue
+                            pinned = _pin_expression(
+                                guard.expr, axis_var, bound | set(self.env)
+                            )
+                            if pinned is not None:
+                                pins.setdefault(position, {})[axis] = pinned
+                                consumed.add(later)
+                                break
+            pattern = getattr(qual, "pattern", None)
+            if pattern is not None:
+                bound |= set(pattern_vars(pattern))
+        return pins, consumed
+
+    def _dense_axis_vars(self, gen: Generator) -> Optional[list[Optional[str]]]:
+        """Axis variable names of a dense-storage generator, else None."""
+        if not isinstance(gen.source, Var) or gen.source.name not in self.env:
+            return None
+        value = self.env[gen.source.name]
+        two_dim = isinstance(value, DenseMatrix) or (
+            isinstance(value, np.ndarray) and value.ndim == 2
+        )
+        one_dim = isinstance(value, DenseVector) or (
+            isinstance(value, np.ndarray) and value.ndim == 1
+        )
+        if not (two_dim or one_dim):
+            return None
+        try:
+            key_pat, _value_pat = self._split_pair_pattern(gen.pattern)
+        except CodegenUnsupported:
+            return None
+        if two_dim and isinstance(key_pat, TuplePat) and len(key_pat.items) == 2:
+            return [
+                item.name if isinstance(item, VarPat) else None
+                for item in key_pat.items
+            ]
+        if one_dim and isinstance(key_pat, VarPat):
+            return [key_pat.name]
+        return None
+
+    def _loop_for(self, gen: Generator, pins: dict[int, str]) -> None:
+        source = gen.source
+        if isinstance(source, RangeExpr):
+            if not isinstance(gen.pattern, VarPat):
+                raise CodegenUnsupported("range generators bind one variable")
+            var = self.bind_name(gen.pattern.name)
+            hi = self.expr(source.hi)
+            if source.inclusive:
+                hi = f"({hi}) + 1"
+            self.emit(f"for {var} in range({self.expr(source.lo)}, {hi}):")
+            self.depth += 1
+            return
+        if not isinstance(source, Var) or source.name not in self.env:
+            raise CodegenUnsupported("generator sources must be bound variables")
+        value = self.env[source.name]
+        src = self.fresh("src")
+        self.emit(f"{src} = _env[{source.name!r}]")
+        if isinstance(value, list):
+            target = self._pattern_target(gen.pattern)
+            self.emit(f"for {target} in {src}:")
+            self.depth += 1
+            return
+        key_pat, value_pat = self._split_pair_pattern(gen.pattern)
+        self._storage_loop(src, value, key_pat, value_pat, pins)
+
+    def _emit_axis(
+        self, var: str, extent: str, pinned_to: Optional[Expr]
+    ) -> None:
+        """One traversal dimension: a loop, or a pinned index (§3's
+        'merge the array index kk with k')."""
+        if pinned_to is None:
+            self.emit(f"for {var} in range({extent}):")
+        else:
+            self.emit(f"{var} = {self.expr(pinned_to)}")
+            self.emit(f"if 0 <= {var} < {extent}:")
+        self.depth += 1
+
+    def _storage_loop(
+        self, src: str, value: Any, key_pat, value_pat, pins: dict[int, str]
+    ) -> None:
+        """Inline the storage's sparsifier as index loops (§2)."""
+        if isinstance(value, DenseMatrix):
+            i, j = self._matrix_key_names(key_pat)
+            buf = self.fresh("buf")
+            self.emit(f"{buf} = {src}.data")
+            self._emit_axis(i, f"{src}.rows", pins.get(0))
+            self._emit_axis(j, f"{src}.cols", pins.get(1))
+            self._bind_value(value_pat, f"{buf}[{i}, {j}]")
+        elif isinstance(value, DenseVector):
+            i = self._pattern_name(key_pat)
+            buf = self.fresh("buf")
+            self.emit(f"{buf} = {src}.data")
+            self._emit_axis(i, f"{src}.length", pins.get(0))
+            self._bind_value(value_pat, f"{buf}[{i}]")
+        elif isinstance(value, np.ndarray) and value.ndim == 2:
+            i, j = self._matrix_key_names(key_pat)
+            self._emit_axis(i, f"{src}.shape[0]", pins.get(0))
+            self._emit_axis(j, f"{src}.shape[1]", pins.get(1))
+            self._bind_value(value_pat, f"{src}[{i}, {j}]")
+        elif isinstance(value, np.ndarray) and value.ndim == 1:
+            i = self._pattern_name(key_pat)
+            self._emit_axis(i, f"{src}.shape[0]", pins.get(0))
+            self._bind_value(value_pat, f"{src}[{i}]")
+        elif isinstance(value, CooMatrix):
+            i, j = self._matrix_key_names(key_pat)
+            entry = self.fresh("v")
+            self.emit(f"for (({i}, {j}), {entry}) in sorted({src}.entries.items()):")
+            self.depth += 1
+            self._bind_value(value_pat, entry)
+        elif isinstance(value, CooVector):
+            i = self._pattern_name(key_pat)
+            entry = self.fresh("v")
+            self.emit(f"for ({i}, {entry}) in sorted({src}.entries.items()):")
+            self.depth += 1
+            self._bind_value(value_pat, entry)
+        elif isinstance(value, CsrMatrix):
+            i, j = self._matrix_key_names(key_pat)
+            pos = self.fresh("p")
+            self.emit(f"for {i} in range({src}.rows):")
+            self.depth += 1
+            self.emit(f"for {pos} in range({src}.indptr[{i}], {src}.indptr[{i} + 1]):")
+            self.depth += 1
+            self.emit(f"{j} = int({src}.indices[{pos}])")
+            self._bind_value(value_pat, f"{src}.data[{pos}]")
+        elif isinstance(value, CscMatrix):
+            i, j = self._matrix_key_names(key_pat)
+            pos = self.fresh("p")
+            self.emit(f"for {j} in range({src}.cols):")
+            self.depth += 1
+            self.emit(f"for {pos} in range({src}.indptr[{j}], {src}.indptr[{j} + 1]):")
+            self.depth += 1
+            self.emit(f"{i} = int({src}.indices[{pos}])")
+            self._bind_value(value_pat, f"{src}.data[{pos}]")
+        else:
+            raise CodegenUnsupported(
+                f"no loop code for {type(value).__name__} sources"
+            )
+
+    # -- patterns -------------------------------------------------------------
+
+    def _split_pair_pattern(self, pattern: Pattern):
+        if isinstance(pattern, TuplePat) and len(pattern.items) == 2:
+            return pattern.items[0], pattern.items[1]
+        raise CodegenUnsupported(f"expected a (key, value) pattern, got {pattern}")
+
+    def _matrix_key_names(self, key_pat: Pattern) -> tuple[str, str]:
+        if isinstance(key_pat, TuplePat) and len(key_pat.items) == 2:
+            return (
+                self._pattern_name(key_pat.items[0]),
+                self._pattern_name(key_pat.items[1]),
+            )
+        raise CodegenUnsupported(f"matrix keys are pairs, got {key_pat}")
+
+    def _pattern_name(self, pattern: Pattern) -> str:
+        if isinstance(pattern, VarPat):
+            return self.bind_name(pattern.name)
+        if isinstance(pattern, WildPat):
+            return self.fresh("w")
+        raise CodegenUnsupported(f"expected a variable pattern, got {pattern}")
+
+    def _pattern_target(self, pattern: Pattern) -> str:
+        if isinstance(pattern, VarPat):
+            return self.bind_name(pattern.name)
+        if isinstance(pattern, WildPat):
+            return self.fresh("w")
+        if isinstance(pattern, TuplePat):
+            return "(" + ", ".join(self._pattern_target(p) for p in pattern.items) + ")"
+        raise CodegenUnsupported(f"unsupported pattern {pattern}")
+
+    def _bind_value(self, value_pat, source: str) -> None:
+        if value_pat is None or isinstance(value_pat, WildPat):
+            return
+        if isinstance(value_pat, VarPat):
+            self.emit(f"{self.bind_name(value_pat.name)} = {source}")
+            return
+        raise CodegenUnsupported(f"value patterns must be variables: {value_pat}")
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _shape_tuple(self, arg_names: list[str]) -> str:
+        inner = ", ".join(arg_names)
+        if len(arg_names) == 1:
+            inner += ","
+        return f"({inner})"
+
+    def _emit_buffer_return(
+        self, builder: str, arg_names: list[str], buffer: str
+    ) -> None:
+        self.depth = 1
+        if builder == "array":
+            self.emit(f"return np.asarray({buffer}).ravel()")
+        elif builder == "vector":
+            self.emit(f"return _wrap_vector(np.asarray({buffer}), {arg_names[0]})")
+        else:
+            self.emit(
+                f"return _wrap_matrix(np.asarray({buffer}), "
+                f"{arg_names[0]}, {arg_names[1]})"
+            )
+
+    def _check_shadowing(self, comp: Comprehension) -> None:
+        bound: set[str] = set()
+        for qual in comp.qualifiers:
+            pattern = getattr(qual, "pattern", None)
+            if pattern is not None:
+                bound |= set(pattern_vars(pattern))
+        if free_vars(comp) & bound:
+            raise CodegenUnsupported("shadowed names; use the interpreter")
+
+    def _trailing_group_by(self, comp: Comprehension) -> Optional[GroupByQual]:
+        group_bys = [q for q in comp.qualifiers if isinstance(q, GroupByQual)]
+        if not group_bys:
+            return None
+        if len(group_bys) > 1 or not isinstance(comp.qualifiers[-1], GroupByQual):
+            raise CodegenUnsupported("only one trailing group-by is compiled")
+        gb = group_bys[0]
+        if gb.pattern is None or gb.key is not None:
+            raise CodegenUnsupported("group-by must be desugared")
+        return gb
+
+    def _quals_before_group_by(self, comp: Comprehension) -> tuple[Qualifier, ...]:
+        return tuple(q for q in comp.qualifiers if not isinstance(q, GroupByQual))
+
+    def _split_head(self, comp: Comprehension) -> tuple[Optional[Expr], Expr]:
+        head = comp.head
+        if isinstance(head, TupleExpr) and len(head.items) == 2:
+            return head.items[0], head.items[1]
+        return None, head
+
+    def _key_parts(self, head_key: Optional[Expr]) -> list[Expr]:
+        if head_key is None:
+            raise CodegenUnsupported("builder heads are (key, value) pairs")
+        if isinstance(head_key, TupleExpr):
+            return list(head_key.items)
+        return [head_key]
+
+    def _extract_slots(self, head_value: Expr) -> list[tuple[str, Expr, Reduce]]:
+        """All ``op/e`` reductions in the head, keyed by node identity."""
+        slots: list[tuple[str, Expr, Reduce]] = []
+
+        def visit(expr: Expr) -> None:
+            if isinstance(expr, Reduce):
+                mon, inner = expr.monoid, expr.expr
+                if mon == "count":
+                    mon, inner = "+", Lit(1)
+                if mon not in _COMPILED_MONOIDS:
+                    raise CodegenUnsupported(f"cannot compile monoid {mon!r}")
+                slots.append((mon, inner, expr))
+                return
+            for child in _expr_children(expr):
+                visit(child)
+
+        visit(head_value)
+        if not slots:
+            raise CodegenUnsupported("group-by without aggregation")
+        return slots
+
+    def _render_with_slots(self, head_value: Expr, by_node: dict[int, str]) -> str:
+        def render(expr: Expr) -> str:
+            name = by_node.get(id(expr))
+            if name is not None:
+                return name
+            return self.expr(expr, render_child=render)
+
+        return render(head_value)
+
+    # -- expression rendering -------------------------------------------------------
+
+    def expr(self, expr: Expr, render_child=None) -> str:
+        render = render_child or (lambda e: self.expr(e, render_child))
+        if isinstance(expr, Lit):
+            return repr(expr.value)
+        if isinstance(expr, Var):
+            name = expr.name
+            if name in self.renames:
+                return self.renames[name]
+            if name in self.env:
+                return f"_env[{name!r}]"
+            raise CodegenUnsupported(f"unbound variable {name!r}")
+        if isinstance(expr, TupleExpr):
+            inner = ", ".join(render(item) for item in expr.items)
+            if len(expr.items) == 1:
+                inner += ","
+            return f"({inner})"
+        if isinstance(expr, BinOp):
+            if expr.op == "/":
+                return f"_div({render(expr.left)}, {render(expr.right)})"
+            op = _PY_BINOPS.get(expr.op)
+            if op is None:
+                raise CodegenUnsupported(f"operator {expr.op!r}")
+            return f"({render(expr.left)} {op} {render(expr.right)})"
+        if isinstance(expr, UnOp):
+            if expr.op == "-":
+                return f"(-{render(expr.operand)})"
+            return f"(not {render(expr.operand)})"
+        if isinstance(expr, IfExpr):
+            # Children render in field order so slot substitution stays
+            # aligned even if a reduction sits inside a branch.
+            cond = render(expr.cond)
+            then = render(expr.then)
+            orelse = render(expr.orelse)
+            return f"({then} if {cond} else {orelse})"
+        if isinstance(expr, Call):
+            if expr.func not in _PY_CALLS:
+                raise CodegenUnsupported(f"function {expr.func!r}")
+            args = ", ".join(render(a) for a in expr.args)
+            return f"{expr.func}({args})"
+        if isinstance(expr, Field):
+            if expr.name == "length":
+                return f"len({render(expr.base)})"
+            raise CodegenUnsupported(f"field {expr.name!r}")
+        if isinstance(expr, Index):
+            base = render(expr.base)
+            indices = ", ".join(render(i) for i in expr.indices)
+            if _indexes_storage(expr, self.env, self.renames):
+                return f"{base}.get({indices})"
+            return f"{base}[{indices}]"
+        raise CodegenUnsupported(f"expression {type(expr).__name__}")
+
+
+def _combine_py(mon: str, left: str, right: str) -> str:
+    if mon in ("+", "*"):
+        return f"{left} {mon} {right}"
+    if mon == "min":
+        return f"min({left}, {right})"
+    if mon == "max":
+        return f"max({left}, {right})"
+    if mon == "&&":
+        return f"bool({left} and {right})"
+    return f"bool({left} or {right})"
+
+
+def _zero_literal(mon: str) -> str:
+    return {
+        "+": "0", "*": "1", "min": "float('inf')",
+        "max": "float('-inf')", "&&": "True", "||": "False",
+    }[mon]
+
+
+def _pin_expression(
+    guard: Expr, axis_var: str, bound: set[str]
+) -> Optional[Expr]:
+    """If ``guard`` equates ``axis_var`` with an expression of bound
+    variables, return that expression."""
+    if not (isinstance(guard, BinOp) and guard.op == "=="):
+        return None
+    for mine, other in ((guard.left, guard.right), (guard.right, guard.left)):
+        if (
+            isinstance(mine, Var)
+            and mine.name == axis_var
+            and free_vars(other) <= bound
+        ):
+            return other
+    return None
+
+
+def _expr_children(expr: Expr) -> Iterator[Expr]:
+    for f in dataclass_fields(expr):  # type: ignore[arg-type]
+        value = getattr(expr, f.name)
+        if isinstance(value, Expr):
+            yield value
+        elif isinstance(value, tuple):
+            for item in value:
+                if isinstance(item, Expr):
+                    yield item
+
+
+def _indexes_storage(
+    expr: Index, env: dict[str, Any], renames: dict[str, str]
+) -> bool:
+    if isinstance(expr.base, Var) and expr.base.name not in renames:
+        value = env.get(expr.base.name)
+        return (
+            value is not None
+            and hasattr(value, "get")
+            and not isinstance(value, dict)
+            and not isinstance(value, np.ndarray)
+        )
+    return False

@@ -1,0 +1,48 @@
+"""Executable plans: what the translation rules produce.
+
+A :class:`Plan` packages the chosen rule, a human-readable explanation,
+Spark-like pseudocode of the generated program (the analogue of the
+paper's emitted Scala), and a thunk that runs it on the engine.  Tests
+assert on ``rule`` to pin down *which* translation fired for each paper
+example, independent of the numeric result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Rule identifiers, named after the paper's sections.
+RULE_LOCAL = "local"                       # Sections 2-3, interpreter
+RULE_LOCAL_CODEGEN = "local-codegen"       # Sections 2-3, generated loops
+RULE_PRESERVE_TILING = "preserve-tiling"   # Section 5.1, Eq. (17)
+RULE_TILED_SHUFFLE = "tiled-shuffle"       # Section 5.2, Eq. (19)
+RULE_TILED_REDUCE = "tiled-reduce"         # Section 5.3 (join + reduceByKey)
+RULE_GROUP_BY_JOIN = "group-by-join"       # Section 5.4 (SUMMA)
+RULE_COORDINATE = "coordinate"             # Section 4, Rules (13)/(14)
+
+
+@dataclass
+class Plan:
+    """An executable translation of one comprehension."""
+
+    rule: str
+    description: str
+    thunk: Callable[[], Any]
+    pseudocode: str = ""
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def execute(self) -> Any:
+        """Run the plan and return the built storage/value."""
+        return self.thunk()
+
+    def explain(self) -> str:
+        """Multi-line explanation: rule, description, generated program."""
+        lines = [f"rule: {self.rule}", f"description: {self.description}"]
+        if self.details:
+            for key, value in sorted(self.details.items()):
+                lines.append(f"{key}: {value}")
+        if self.pseudocode:
+            lines.append("generated program:")
+            lines.extend("  " + line for line in self.pseudocode.splitlines())
+        return "\n".join(lines)

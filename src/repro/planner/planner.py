@@ -1,0 +1,230 @@
+"""Planner dispatch: choose a translation rule for a query.
+
+Order of preference for a tiled-builder comprehension over tiled inputs
+(mirroring the paper's Section 5):
+
+1. group-by-join (5.4) — when enabled and the pattern matches;
+2. tiled reduce (5.3) — group-by with combinable aggregations;
+3. preserve-tiling (5.1) — no group-by, aligned output;
+4. tiled shuffle (5.2) — no group-by, computed output indices;
+5. coordinate (Section 4, Rules 13/14) — the element-level fallback;
+6. local — the reference interpreter (always correct).
+
+``PlannerOptions`` exposes the ablation switches the benchmarks use:
+``group_by_join=False`` reproduces the paper's "SAC" (join + group-by)
+multiplication, ``force_coordinate=True`` reproduces the coordinate-
+format execution of the earlier DIABLO system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..comprehension.ast import (
+    BuilderApp, Comprehension, Expr, Generator, Reduce, Var,
+)
+from ..comprehension.errors import SacPlanError
+from ..comprehension.interpreter import Interpreter
+from ..comprehension.monoids import monoid
+from ..engine import EngineContext, RDD
+from ..storage.registry import BuildContext
+from ..storage.sparse_tiled import SparseTiledMatrix
+from ..storage.tiled import TiledMatrix, TiledVector
+from .analysis import analyze
+from .groupby_join import plan_group_by_join
+from .plan import Plan, RULE_LOCAL
+from .rdd_rules import plan_coordinate
+from .tiling import (
+    plan_preserve, plan_shuffle, plan_tiled_reduce, resolve_tiled,
+    sparse_gens_sound,
+)
+
+
+@dataclass
+class PlannerOptions:
+    """Switches controlling rule selection (used by the ablations).
+
+    ``broadcast_threshold`` is an extension beyond the paper: when > 0
+    and one side of a group-by-join has at most that many tiles, the
+    whole side is broadcast to every task instead of SUMMA-replicated —
+    the standard Spark map-side-join optimization, profitable for tall
+    skinny factors (e.g. the factorization's rank-k matrices).
+    """
+
+    group_by_join: bool = True
+    force_coordinate: bool = False
+    allow_tiled: bool = True
+    broadcast_threshold: int = 0
+
+
+_DISTRIBUTED_BUILDERS = {"tiled", "tiled_vector", "rdd"}
+
+
+def plan_query(
+    expr: Expr,
+    env: dict[str, Any],
+    engine: Optional[EngineContext],
+    build_context: BuildContext,
+    options: Optional[PlannerOptions] = None,
+) -> Plan:
+    """Produce an executable plan for a desugared, normalized query."""
+    options = options or PlannerOptions()
+
+    if isinstance(expr, BuilderApp) and isinstance(expr.source, Comprehension):
+        return _plan_builder_comp(expr, env, engine, build_context, options)
+
+    if isinstance(expr, Reduce) and isinstance(expr.expr, Comprehension):
+        inner = expr.expr
+        if engine is not None and _is_distributed(inner, env):
+            plan = _plan_comp(inner, env, engine, build_context, options, None, ())
+            if plan is not None:
+                mon = monoid(expr.monoid) if expr.monoid != "count" else None
+                inner_thunk = plan.thunk
+
+                def reduce_thunk():
+                    rdd = inner_thunk()
+                    assert isinstance(rdd, RDD)
+                    if expr.monoid == "count":
+                        return rdd.count()
+                    return rdd.aggregate(mon.zero, mon.combine, mon.combine)
+
+                return Plan(
+                    rule=plan.rule,
+                    description=f"{plan.description}; then total {expr.monoid}/ reduction",
+                    thunk=reduce_thunk,
+                    pseudocode=plan.pseudocode,
+                    details=plan.details,
+                )
+        return _local_plan(expr, env, build_context)
+
+    if isinstance(expr, Comprehension):
+        if engine is not None and _is_distributed(expr, env):
+            plan = _plan_comp(expr, env, engine, build_context, options, None, ())
+            if plan is not None:
+                inner_thunk = plan.thunk
+                return Plan(
+                    rule=plan.rule,
+                    description=plan.description + "; collected to a list",
+                    thunk=lambda: inner_thunk().collect(),
+                    pseudocode=plan.pseudocode,
+                    details=plan.details,
+                )
+        return _local_plan(expr, env, build_context)
+
+    return _local_plan(expr, env, build_context)
+
+
+# ----------------------------------------------------------------------
+
+
+def _plan_builder_comp(
+    expr: BuilderApp,
+    env: dict[str, Any],
+    engine: Optional[EngineContext],
+    build_context: BuildContext,
+    options: PlannerOptions,
+) -> Plan:
+    comp = expr.source
+    assert isinstance(comp, Comprehension)
+    distributed = expr.name in _DISTRIBUTED_BUILDERS or _is_distributed(comp, env)
+    if engine is None or not distributed:
+        return _local_plan(expr, env, build_context)
+    args = tuple(
+        Interpreter(env, build_context=build_context).evaluate(a) for a in expr.args
+    )
+    plan = _plan_comp(comp, env, engine, build_context, options, expr.name, args)
+    if plan is not None:
+        return plan
+    return _local_plan(expr, env, build_context)
+
+
+def _plan_comp(
+    comp: Comprehension,
+    env: dict[str, Any],
+    engine: EngineContext,
+    build_context: BuildContext,
+    options: PlannerOptions,
+    builder: Optional[str],
+    args: tuple,
+) -> Optional[Plan]:
+    try:
+        info = analyze(comp)
+    except SacPlanError:
+        return None
+
+    if not options.force_coordinate and options.allow_tiled and builder in (
+        "tiled",
+        "tiled_vector",
+    ):
+        const_env = {
+            name: value
+            for name, value in env.items()
+            if isinstance(value, (int, float, bool))
+        }
+        setup = resolve_tiled(info, env, const_env)
+        if setup is not None and not sparse_gens_sound(setup):
+            setup = None  # sparse semantics need the coordinate path
+        if setup is not None:
+            if info.group_key_vars is not None:
+                if options.group_by_join:
+                    plan = plan_group_by_join(
+                        setup, builder, args,
+                        broadcast_threshold=options.broadcast_threshold,
+                    )
+                    if plan is not None:
+                        return plan
+                plan = plan_tiled_reduce(setup, builder, args)
+                if plan is not None:
+                    return plan
+            else:
+                plan = plan_preserve(setup, builder, args)
+                if plan is not None:
+                    return plan
+                plan = plan_shuffle(setup, builder, args)
+                if plan is not None:
+                    return plan
+
+    return plan_coordinate(info, env, engine, builder, args, build_context)
+
+
+def _local_plan(
+    expr: Expr, env: dict[str, Any], build_context: BuildContext
+) -> Plan:
+    from .local_codegen import CodegenUnsupported, compile_local
+    from .plan import RULE_LOCAL_CODEGEN
+
+    try:
+        source, thunk = compile_local(expr, env, build_context)
+    except CodegenUnsupported as reason:
+        interpreter = Interpreter(env, build_context=build_context)
+        return Plan(
+            rule=RULE_LOCAL,
+            description="reference in-memory evaluation (Sections 2-3)",
+            thunk=lambda: interpreter.evaluate(expr),
+            details={"codegen_fallback": str(reason)},
+        )
+    return Plan(
+        rule=RULE_LOCAL_CODEGEN,
+        description=(
+            "generated imperative loop code (Sections 2-3): sparsifiers "
+            "inlined as index loops, builders as array writes"
+        ),
+        thunk=thunk,
+        pseudocode=source,
+    )
+
+
+def _is_distributed(comp: Comprehension, env: dict[str, Any]) -> bool:
+    """Does any generator traverse a distributed storage?"""
+    for qual in comp.qualifiers:
+        if isinstance(qual, Generator) and isinstance(qual.source, Var):
+            value = env.get(qual.source.name)
+            if isinstance(
+                value, (TiledMatrix, TiledVector, SparseTiledMatrix, RDD)
+            ):
+                return True
+        if isinstance(qual, Generator) and isinstance(qual.source, Comprehension):
+            if _is_distributed(qual.source, env):
+                return True
+    return False

@@ -1,0 +1,48 @@
+"""Concrete array storages and the sparsifier/builder type mappings.
+
+Importing this package registers every built-in storage with the global
+:data:`~repro.storage.registry.REGISTRY`:
+
+========================  =============================  ====================
+Storage                   Sparsifier key (type)          Builder name
+========================  =============================  ====================
+:class:`DenseVector`      ``DenseVector``                ``vector(n)``
+:class:`DenseMatrix`      ``DenseMatrix``                ``matrix(n,m)``
+raw ``numpy.ndarray``     ``ndarray`` (1-D / 2-D)        ``array(n)``
+:class:`CooVector`        ``CooVector``                  ``coo_vector(n)``
+:class:`CooMatrix`        ``CooMatrix``                  ``coo(n,m)``
+:class:`CsrMatrix`        ``CsrMatrix``                  ``csr(n,m)``
+:class:`CscMatrix`        ``CscMatrix``                  ``csc(n,m)``
+:class:`TiledMatrix`      ``TiledMatrix``                ``tiled(n,m)``
+:class:`TiledVector`      ``TiledVector``                ``tiled_vector(n)``
+:class:`SparseTiledMatrix` ``SparseTiledMatrix``         ``sparse_tiled(n,m)``
+engine RDD                (handled by the planner)       ``rdd``
+========================  =============================  ====================
+
+User-defined storages participate by registering a sparsifier for their
+type and a builder for their name — nothing else in the system needs to
+change (the paper's extensibility claim).
+"""
+
+from .coo import CooMatrix, CooVector
+from .csc import CscMatrix
+from .csr import CsrMatrix
+from .dense import DenseMatrix, DenseVector
+from .registry import REGISTRY, BuildContext, StorageRegistry
+from .sparse_tiled import SparseTiledMatrix
+from .tiled import TiledMatrix, TiledVector
+
+__all__ = [
+    "BuildContext",
+    "CooMatrix",
+    "CooVector",
+    "CscMatrix",
+    "CsrMatrix",
+    "DenseMatrix",
+    "DenseVector",
+    "REGISTRY",
+    "SparseTiledMatrix",
+    "StorageRegistry",
+    "TiledMatrix",
+    "TiledVector",
+]

@@ -1,0 +1,122 @@
+"""Coordinate-format sparse storages (Section 4's distributed format).
+
+A COO matrix stores only its non-zero entries as ``((i, j), value)``
+pairs.  The paper uses this format in two roles: as the *abstract*
+representation every storage sparsifies into, and as a concrete
+distributed format (an RDD of coordinate pairs) whose inefficiency
+relative to tiling motivates Section 5.  ``CooMatrix``/``CooVector`` here
+are the local concrete form; the distributed form is simply an engine RDD
+of the same pairs (see :mod:`repro.planner.rdd_rules`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from ..comprehension.errors import SacTypeError
+from .registry import REGISTRY, BuildContext
+
+
+class CooVector:
+    """Sparse vector: a dict from index to value plus a length."""
+
+    def __init__(self, length: int, entries: dict[int, Any]):
+        self.length = length
+        self.entries = entries
+
+    @classmethod
+    def from_items(cls, length: int, items: Iterable[tuple[int, Any]]) -> "CooVector":
+        entries: dict[int, Any] = {}
+        for index, value in items:
+            if 0 <= index < length and value != 0:
+                entries[index] = value
+        return cls(length, entries)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.entries)
+
+    def sparsify(self) -> Iterator[tuple[int, Any]]:
+        return iter(sorted(self.entries.items()))
+
+    def get(self, index: int) -> Any:
+        return self.entries.get(index, 0)
+
+    def __repr__(self) -> str:
+        return f"CooVector(length={self.length}, nnz={self.nnz})"
+
+
+class CooMatrix:
+    """Sparse matrix: a dict from ``(i, j)`` to value plus dimensions."""
+
+    def __init__(self, rows: int, cols: int, entries: dict[tuple[int, int], Any]):
+        self.rows = rows
+        self.cols = cols
+        self.entries = entries
+
+    @classmethod
+    def from_items(
+        cls, rows: int, cols: int, items: Iterable[tuple[tuple[int, int], Any]]
+    ) -> "CooMatrix":
+        entries: dict[tuple[int, int], Any] = {}
+        for (i, j), value in items:
+            if 0 <= i < rows and 0 <= j < cols and value != 0:
+                entries[(i, j)] = value
+        return cls(rows, cols, entries)
+
+    @classmethod
+    def from_numpy(cls, array) -> "CooMatrix":
+        import numpy as np
+
+        array = np.asarray(array)
+        if array.ndim != 2:
+            raise SacTypeError(f"need a 2-D array, got shape {array.shape}")
+        rows, cols = array.shape
+        nz = np.nonzero(array)
+        entries = {
+            (int(i), int(j)): array[i, j].item() for i, j in zip(*nz)
+        }
+        return cls(rows, cols, entries)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.entries)
+
+    def density(self) -> float:
+        total = self.rows * self.cols
+        return self.nnz / total if total else 0.0
+
+    def sparsify(self) -> Iterator[tuple[tuple[int, int], Any]]:
+        return iter(sorted(self.entries.items()))
+
+    def get(self, i: int, j: int) -> Any:
+        return self.entries.get((i, j), 0)
+
+    def to_numpy(self):
+        import numpy as np
+
+        out = np.zeros((self.rows, self.cols))
+        for (i, j), value in self.entries.items():
+            out[i, j] = value
+        return out
+
+    def __repr__(self) -> str:
+        return f"CooMatrix({self.rows}x{self.cols}, nnz={self.nnz})"
+
+
+def _build_coo(ctx: BuildContext, args: tuple, items) -> CooMatrix:
+    if len(args) != 2:
+        raise SacTypeError("coo(n,m) builder takes two dimension arguments")
+    return CooMatrix.from_items(int(args[0]), int(args[1]), items)
+
+
+def _build_coo_vector(ctx: BuildContext, args: tuple, items) -> CooVector:
+    if len(args) != 1:
+        raise SacTypeError("coo_vector(n) builder takes one dimension argument")
+    return CooVector.from_items(int(args[0]), items)
+
+
+REGISTRY.register_sparsifier(CooVector, lambda v: v.sparsify())
+REGISTRY.register_sparsifier(CooMatrix, lambda m: m.sparsify())
+REGISTRY.register_builder("coo", _build_coo)
+REGISTRY.register_builder("coo_vector", _build_coo_vector)

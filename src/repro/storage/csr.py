@@ -1,0 +1,119 @@
+"""Compressed Sparse Row storage.
+
+The paper's framework claims extensibility to "customized storage
+structures" — CSR is the canonical example (Section 8 mentions tiles in
+compressed sparse column format as future work; CSR is the row-major
+sibling).  Registering this class is *all* that is needed for CSR
+matrices to participate in any comprehension: the sparsifier up-coerces
+rows lazily and the builder compresses an association list.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+from ..comprehension.errors import SacTypeError
+from .registry import REGISTRY, BuildContext
+
+
+class CsrMatrix:
+    """CSR matrix: ``indptr`` (n+1), ``indices`` (nnz), ``data`` (nnz)."""
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+    ):
+        if len(indptr) != rows + 1:
+            raise SacTypeError(
+                f"indptr length {len(indptr)} does not match rows {rows}"
+            )
+        if len(indices) != len(data):
+            raise SacTypeError("indices and data lengths differ")
+        self.rows = rows
+        self.cols = cols
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data)
+
+    @classmethod
+    def from_items(
+        cls, rows: int, cols: int, items: Iterable[tuple[tuple[int, int], Any]]
+    ) -> "CsrMatrix":
+        """Build from an association list (clipping, dropping zeros)."""
+        per_row: list[list[tuple[int, Any]]] = [[] for _ in range(rows)]
+        for (i, j), value in items:
+            if 0 <= i < rows and 0 <= j < cols and value != 0:
+                per_row[i].append((j, value))
+        indptr = np.zeros(rows + 1, dtype=np.int64)
+        indices: list[int] = []
+        data: list[Any] = []
+        for i, row in enumerate(per_row):
+            row.sort()
+            for j, value in row:
+                indices.append(j)
+                data.append(value)
+            indptr[i + 1] = len(indices)
+        return cls(rows, cols, indptr, np.array(indices, dtype=np.int64), np.array(data))
+
+    @classmethod
+    def from_numpy(cls, array: np.ndarray) -> "CsrMatrix":
+        array = np.asarray(array)
+        if array.ndim != 2:
+            raise SacTypeError(f"need a 2-D array, got shape {array.shape}")
+        rows, cols = array.shape
+        return cls.from_items(
+            rows,
+            cols,
+            (
+                ((int(i), int(j)), array[i, j].item())
+                for i, j in zip(*np.nonzero(array))
+            ),
+        )
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indptr[-1])
+
+    def sparsify(self) -> Iterator[tuple[tuple[int, int], Any]]:
+        """Walk rows in order, yielding ``((i, j), value)`` per stored entry."""
+        for i in range(self.rows):
+            for pos in range(self.indptr[i], self.indptr[i + 1]):
+                yield (i, int(self.indices[pos])), self.data[pos].item()
+
+    def get(self, i: int, j: int) -> Any:
+        start, end = self.indptr[i], self.indptr[i + 1]
+        pos = np.searchsorted(self.indices[start:end], j)
+        if pos < end - start and self.indices[start + pos] == j:
+            return self.data[start + pos].item()
+        return 0
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Column indices and values of row ``i`` (zero-copy views)."""
+        start, end = self.indptr[i], self.indptr[i + 1]
+        return self.indices[start:end], self.data[start:end]
+
+    def to_numpy(self) -> np.ndarray:
+        out = np.zeros((self.rows, self.cols))
+        for i in range(self.rows):
+            cols, values = self.row(i)
+            out[i, cols] = values
+        return out
+
+    def __repr__(self) -> str:
+        return f"CsrMatrix({self.rows}x{self.cols}, nnz={self.nnz})"
+
+
+def _build_csr(ctx: BuildContext, args: tuple, items) -> CsrMatrix:
+    if len(args) != 2:
+        raise SacTypeError("csr(n,m) builder takes two dimension arguments")
+    return CsrMatrix.from_items(int(args[0]), int(args[1]), items)
+
+
+REGISTRY.register_sparsifier(CsrMatrix, lambda m: m.sparsify())
+REGISTRY.register_builder("csr", _build_csr)

@@ -1,0 +1,187 @@
+"""Dense in-memory storages: vectors and row-major matrices (Section 2).
+
+``DenseMatrix`` mirrors the paper's running example: a matrix stored as
+``(n, m, V)`` with ``V`` a flat vector holding the elements in row-major
+order.  We keep the flat buffer as a NumPy array and expose both the flat
+view (``flat``) and a 2-D view (``data``) — the 2-D view is the same
+buffer, so tile kernels can use BLAS-backed NumPy ops without copying.
+
+Builders clip out-of-range indices exactly like the paper's ``matrix``
+builder (whose comprehension guards ``i≥0, i<n, j≥0, j<m``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+from ..comprehension.errors import SacTypeError
+from .registry import REGISTRY, BuildContext
+
+
+class DenseVector:
+    """A dense vector of fixed length backed by a NumPy array."""
+
+    def __init__(self, data: np.ndarray):
+        data = np.asarray(data)
+        if data.ndim != 1:
+            raise SacTypeError(f"DenseVector needs 1-D data, got shape {data.shape}")
+        self.data = data
+
+    @classmethod
+    def zeros(cls, length: int, dtype=np.float64) -> "DenseVector":
+        return cls(np.zeros(length, dtype=dtype))
+
+    @classmethod
+    def from_items(
+        cls, length: int, items: Iterable[tuple[int, Any]], dtype=np.float64
+    ) -> "DenseVector":
+        """Build from an association list, clipping out-of-range indices."""
+        data = np.zeros(length, dtype=dtype)
+        for index, value in items:
+            if 0 <= index < length:
+                data[index] = value
+        return cls(data)
+
+    @property
+    def length(self) -> int:
+        return int(self.data.shape[0])
+
+    def sparsify(self) -> Iterator[tuple[int, Any]]:
+        """``[ (i, V(i)) | i <- 0 until V.length ]``."""
+        for index in range(self.length):
+            yield index, self.data[index].item()
+
+    def get(self, index: int) -> Any:
+        return self.data[index].item()
+
+    def to_numpy(self) -> np.ndarray:
+        return self.data
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DenseVector) and np.array_equal(self.data, other.data)
+
+    def __repr__(self) -> str:
+        return f"DenseVector(length={self.length})"
+
+
+class DenseMatrix:
+    """A dense n×m matrix stored row-major in one flat buffer."""
+
+    def __init__(self, rows: int, cols: int, flat: np.ndarray):
+        flat = np.asarray(flat)
+        if flat.size != rows * cols:
+            raise SacTypeError(
+                f"flat buffer has {flat.size} elements, expected {rows * cols}"
+            )
+        self.rows = rows
+        self.cols = cols
+        self.flat = flat.reshape(-1)
+
+    @classmethod
+    def zeros(cls, rows: int, cols: int, dtype=np.float64) -> "DenseMatrix":
+        return cls(rows, cols, np.zeros(rows * cols, dtype=dtype))
+
+    @classmethod
+    def from_numpy(cls, array: np.ndarray) -> "DenseMatrix":
+        array = np.asarray(array)
+        if array.ndim != 2:
+            raise SacTypeError(f"need a 2-D array, got shape {array.shape}")
+        return cls(array.shape[0], array.shape[1], np.ascontiguousarray(array).ravel())
+
+    @classmethod
+    def from_items(
+        cls,
+        rows: int,
+        cols: int,
+        items: Iterable[tuple[tuple[int, int], Any]],
+        dtype=np.float64,
+    ) -> "DenseMatrix":
+        """The paper's ``matrix(n,m)(L)`` builder: clip and place."""
+        data = np.zeros(rows * cols, dtype=dtype)
+        for (i, j), value in items:
+            if 0 <= i < rows and 0 <= j < cols:
+                data[i * cols + j] = value
+        return cls(rows, cols, data)
+
+    @property
+    def data(self) -> np.ndarray:
+        """2-D view sharing the flat buffer."""
+        return self.flat.reshape(self.rows, self.cols)
+
+    def sparsify(self) -> Iterator[tuple[tuple[int, int], Any]]:
+        """``[ ((i,j), A(i*m+j)) | i <- 0 until n, j <- 0 until m ]``."""
+        for i in range(self.rows):
+            base = i * self.cols
+            for j in range(self.cols):
+                yield (i, j), self.flat[base + j].item()
+
+    def get(self, i: int, j: int) -> Any:
+        return self.flat[i * self.cols + j].item()
+
+    def to_numpy(self) -> np.ndarray:
+        return self.data
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DenseMatrix)
+            and self.rows == other.rows
+            and self.cols == other.cols
+            and np.array_equal(self.flat, other.flat)
+        )
+
+    def __repr__(self) -> str:
+        return f"DenseMatrix({self.rows}x{self.cols})"
+
+
+# ----------------------------------------------------------------------
+# Registration
+# ----------------------------------------------------------------------
+
+
+def _sparsify_numpy(value: np.ndarray) -> Iterator[tuple[Any, Any]]:
+    """Raw NumPy arrays act as dense storages: 1-D keyed by ``i``,
+    2-D keyed by ``(i, j)``."""
+    if value.ndim == 1:
+        for i in range(value.shape[0]):
+            yield i, value[i].item()
+    elif value.ndim == 2:
+        for i in range(value.shape[0]):
+            for j in range(value.shape[1]):
+                yield (i, j), value[i, j].item()
+    else:
+        raise SacTypeError(f"cannot sparsify a {value.ndim}-D ndarray")
+
+
+def _build_vector(ctx: BuildContext, args: tuple, items) -> DenseVector:
+    if len(args) != 1:
+        raise SacTypeError("vector(n) builder takes one dimension argument")
+    return DenseVector.from_items(int(args[0]), items)
+
+
+def _build_array(ctx: BuildContext, args: tuple, items) -> np.ndarray:
+    """``array(n)(L)``: a raw flat buffer (used for tile construction)."""
+    if len(args) != 1:
+        raise SacTypeError("array(n) builder takes one size argument")
+    return DenseVector.from_items(int(args[0]), items).data
+
+
+def _build_matrix(ctx: BuildContext, args: tuple, items) -> DenseMatrix:
+    if len(args) != 2:
+        raise SacTypeError("matrix(n,m) builder takes two dimension arguments")
+    return DenseMatrix.from_items(int(args[0]), int(args[1]), items)
+
+
+def _build_list(ctx: BuildContext, args: tuple, items) -> list:
+    """``list(L)``: the identity builder (association list as-is)."""
+    return list(items)
+
+
+REGISTRY.register_sparsifier(DenseVector, lambda v: v.sparsify())
+REGISTRY.register_sparsifier(DenseMatrix, lambda m: m.sparsify())
+REGISTRY.register_sparsifier(np.ndarray, _sparsify_numpy)
+REGISTRY.register_builder("vector", _build_vector)
+REGISTRY.register_builder("array", _build_array)
+REGISTRY.register_builder("matrix", _build_matrix)
+REGISTRY.register_builder("list", _build_list)

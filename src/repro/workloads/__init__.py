@@ -1,0 +1,14 @@
+"""Seeded workload generators for tests, examples, and benchmarks."""
+
+from .generators import (
+    adjacency_matrix, dense_uniform, factor_matrix, rating_matrix,
+    regression_data,
+)
+
+__all__ = [
+    "adjacency_matrix",
+    "dense_uniform",
+    "factor_matrix",
+    "rating_matrix",
+    "regression_data",
+]

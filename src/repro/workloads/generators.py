@@ -1,0 +1,56 @@
+"""Workload generators reproducing the paper's evaluation inputs.
+
+Section 6: addition/multiplication use square matrices of uniform random
+values in [0, 10); factorization uses a square rating matrix with 10 %
+non-zero integer ratings in 0–5 and factors initialized uniformly in
+[0, 1).  All generators are seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dense_uniform(
+    rows: int, cols: int, seed: int = 0, low: float = 0.0, high: float = 10.0
+) -> np.ndarray:
+    """Dense matrix of uniform values — the add/multiply workload."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(low, high, size=(rows, cols))
+
+
+def rating_matrix(
+    n: int, density: float = 0.10, max_rating: int = 5, seed: int = 0
+) -> np.ndarray:
+    """The factorization workload: ``n×n``, ``density`` of the entries are
+    non-zero integer ratings in ``1..max_rating`` (stored dense, as the
+    paper's block representation does)."""
+    rng = np.random.default_rng(seed)
+    ratings = rng.integers(1, max_rating + 1, size=(n, n)).astype(np.float64)
+    mask = rng.random((n, n)) < density
+    return np.where(mask, ratings, 0.0)
+
+
+def factor_matrix(rows: int, rank: int, seed: int = 0) -> np.ndarray:
+    """Initial factor: uniform values in [0, 1)."""
+    rng = np.random.default_rng(seed)
+    return rng.random((rows, rank))
+
+
+def adjacency_matrix(n: int, edge_probability: float = 0.2, seed: int = 0) -> np.ndarray:
+    """Random directed graph adjacency (for the PageRank example)."""
+    rng = np.random.default_rng(seed)
+    adj = (rng.random((n, n)) < edge_probability).astype(np.float64)
+    np.fill_diagonal(adj, 0.0)
+    return adj
+
+
+def regression_data(
+    samples: int, features: int, noise: float = 0.1, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Synthetic linear-regression data: returns (X, y, true_weights)."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(samples, features))
+    w = rng.normal(size=features)
+    y = x @ w + noise * rng.normal(size=samples)
+    return x, y, w

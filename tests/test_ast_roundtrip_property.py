@@ -1,0 +1,123 @@
+"""Property test: to_source(ast) re-parses to the identical AST.
+
+Hypothesis builds random expression trees from the AST constructors and
+checks the pretty-printer and parser are exact inverses.  This pins the
+printer's precedence/parenthesization logic against the parser's
+precedence climbing for the whole expression grammar.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.comprehension import (
+    BinOp, Call, Comprehension, Expr, Generator, GroupByQual, Guard, IfExpr,
+    Index, LetQual, Lit, RangeExpr, Reduce, TupleExpr, TuplePat, UnOp, Var,
+    VarPat, WildPat, parse, to_source,
+)
+from repro.comprehension.lexer import KEYWORDS
+
+SETTINGS = settings(
+    max_examples=150, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Identifiers that cannot collide with keywords or reduction names.
+_NAMES = ["x", "y", "z", "alpha", "beta", "M", "V2", "foo_bar"]
+assert not set(_NAMES) & KEYWORDS
+
+names = st.sampled_from(_NAMES)
+
+literals = st.one_of(
+    st.integers(min_value=0, max_value=999).map(Lit),
+    st.floats(
+        min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+    ).map(lambda f: Lit(float(f))),
+    st.booleans().map(Lit),
+)
+
+_ARITH_OPS = ["+", "-", "*", "/", "%"]
+_CMP_OPS = ["==", "!=", "<", "<=", ">", ">="]
+_BOOL_OPS = ["&&", "||"]
+_MONOIDS = ["+", "*", "min", "max", "&&", "||", "count", "avg"]
+
+
+def expressions(max_depth: int = 4):
+    base = st.one_of(literals, names.map(Var))
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(
+                st.sampled_from(_ARITH_OPS + _CMP_OPS + _BOOL_OPS),
+                children, children,
+            ).map(lambda t: BinOp(*t)),
+            children.map(lambda e: UnOp("-", e)),
+            children.map(lambda e: UnOp("!", e)),
+            st.tuples(children, children, children).map(
+                lambda t: IfExpr(*t)
+            ),
+            st.lists(children, min_size=2, max_size=3).map(
+                lambda items: TupleExpr(tuple(items))
+            ),
+            st.tuples(names, st.lists(children, min_size=0, max_size=2)).map(
+                lambda t: Call(t[0], tuple(t[1]))
+            ),
+            st.tuples(names.map(Var), st.lists(children, min_size=1, max_size=2)).map(
+                lambda t: Index(t[0], tuple(t[1]))
+            ),
+            st.tuples(children, children, st.booleans()).map(
+                lambda t: RangeExpr(*t)
+            ),
+            st.tuples(st.sampled_from(_MONOIDS), children).map(
+                lambda t: Reduce(*t)
+            ),
+        )
+
+    return st.recursive(base, extend, max_leaves=12)
+
+
+patterns = st.one_of(
+    names.map(VarPat),
+    st.just(WildPat()),
+    st.lists(names.map(VarPat), min_size=2, max_size=3).map(
+        lambda items: TuplePat(tuple(items))
+    ),
+)
+
+
+def qualifiers():
+    expr = expressions(3)
+    return st.one_of(
+        st.tuples(patterns, expr).map(lambda t: Generator(*t)),
+        st.tuples(patterns, expr).map(lambda t: LetQual(*t)),
+        expr.map(Guard),
+        st.one_of(
+            names.map(lambda n: GroupByQual(VarPat(n), None)),
+            st.tuples(names, expr).map(
+                lambda t: GroupByQual(VarPat(t[0]), t[1])
+            ),
+        ),
+    )
+
+
+comprehensions = st.tuples(
+    expressions(3), st.lists(qualifiers(), min_size=0, max_size=4)
+).map(lambda t: Comprehension(t[0], tuple(t[1])))
+
+
+@SETTINGS
+@given(expr=expressions())
+def test_expression_round_trip(expr):
+    assert parse(to_source(expr)) == expr
+
+
+@SETTINGS
+@given(comp=comprehensions)
+def test_comprehension_round_trip(comp):
+    assert parse(to_source(comp)) == comp
+
+
+@SETTINGS
+@given(expr=expressions())
+def test_to_source_is_deterministic(expr):
+    assert to_source(expr) == to_source(expr)

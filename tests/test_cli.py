@@ -1,0 +1,162 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def data_file(tmp_path):
+    path = tmp_path / "matrix.npy"
+    np.save(path, np.arange(12, dtype=float).reshape(3, 4))
+    return str(path)
+
+
+@pytest.fixture()
+def vector_file(tmp_path):
+    path = tmp_path / "vector.npy"
+    np.save(path, np.array([3.0, 1.0, 2.0]))
+    return str(path)
+
+
+def test_cli_runs_query_and_saves(data_file, tmp_path, capsys):
+    out = str(tmp_path / "out.npy")
+    code = main([
+        "tiled_vector(n)[ (i, +/m) | ((i,j),m) <- A, group by i ]",
+        "--bind", f"A={data_file}",
+        "--define", "n=3",
+        "--tile-size", "2",
+        "--output", out,
+    ])
+    assert code == 0
+    result = np.load(out)
+    np.testing.assert_allclose(result, [6.0, 22.0, 38.0])
+    assert "saved result" in capsys.readouterr().out
+
+
+def test_cli_prints_result_without_output(data_file, capsys):
+    code = main([
+        "tiled(m,n)[ ((j,i),v) | ((i,j),v) <- A ]",
+        "--bind", f"A={data_file}",
+        "--define", "n=3", "--define", "m=4",
+        "--tile-size", "2",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "TiledMatrix" in out and "(4, 3)" in out
+
+
+def test_cli_explain(data_file, capsys):
+    code = main([
+        "tiled(m,n)[ ((j,i),v) | ((i,j),v) <- A ]",
+        "--bind", f"A={data_file}",
+        "--define", "n=3", "--define", "m=4",
+        "--explain",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "rule: preserve-tiling" in out
+
+
+def test_cli_scalar_result(vector_file, capsys):
+    code = main([
+        "+/[ v | (i,v) <- V ]",
+        "--bind", f"V={vector_file}",
+    ])
+    assert code == 0
+    assert "6.0" in capsys.readouterr().out
+
+
+def test_cli_sparse_binding(tmp_path, capsys):
+    a = np.zeros((8, 8))
+    a[0, 0] = 5.0
+    path = tmp_path / "sparse.npy"
+    np.save(path, a)
+    code = main([
+        "+/[ v | ((i,j),v) <- A ]",
+        "--sparse", f"A={path}",
+        "--tile-size", "4",
+    ])
+    assert code == 0
+    assert "5.0" in capsys.readouterr().out
+
+
+def test_cli_metrics_flag(vector_file, capsys):
+    main([
+        "+/[ v | (i,v) <- V ]",
+        "--bind", f"V={vector_file}",
+        "--metrics",
+    ])
+    out = capsys.readouterr().out
+    assert "simulated cluster time" in out
+
+
+def test_cli_rejects_bad_binding(vector_file):
+    with pytest.raises(SystemExit):
+        main(["1 + 1", "--bind", "novalue"])
+
+
+def test_cli_rejects_3d_array(tmp_path):
+    path = tmp_path / "cube.npy"
+    np.save(path, np.zeros((2, 2, 2)))
+    with pytest.raises(SystemExit):
+        main(["1 + 1", "--bind", f"A={path}"])
+
+
+def test_cli_loops_mode(data_file, capsys):
+    code = main([
+        """
+        var V: tiled_vector(n)
+        for i = 0, n-1 do
+          for j = 0, m-1 do
+            V[i] += A[i, j]
+          end
+        end
+        """,
+        "--loops",
+        "--bind", f"A={data_file}",
+        "--define", "n=3", "--define", "m=4",
+        "--tile-size", "2",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "V: shape (3,)" in out
+
+
+def test_cli_loops_explain(data_file, capsys):
+    code = main([
+        """
+        var V: tiled_vector(n)
+        for i = 0, n-1 do
+          for j = 0, m-1 do
+            V[i] += A[i, j]
+          end
+        end
+        """,
+        "--loops", "--explain",
+        "--bind", f"A={data_file}",
+        "--define", "n=3", "--define", "m=4",
+        "--tile-size", "2",
+    ])
+    assert code == 0
+    assert "tiled-reduce" in capsys.readouterr().out
+
+
+def test_cli_npz_archive_binds_members(tmp_path, capsys):
+    path = tmp_path / "data.npz"
+    np.savez(path, m=np.ones((4, 4)), v=np.arange(4.0))
+    code = main([
+        "+/[ x | ((i,j),x) <- D_m ]",
+        "--bind", f"D={path}",
+        "--tile-size", "2",
+    ])
+    assert code == 0
+    assert "16.0" in capsys.readouterr().out
+    code = main([
+        "+/[ x | (i,x) <- D_v ]",
+        "--bind", f"D={path}",
+        "--tile-size", "2",
+    ])
+    assert code == 0
+    assert "6.0" in capsys.readouterr().out

@@ -1,0 +1,238 @@
+"""Tests for the desugaring and normalization rewrite rules."""
+
+import pytest
+
+from repro.comprehension import (
+    BinOp, Call, Comprehension, Generator, GroupByQual, Guard, Index,
+    LetQual, Lit, RangeExpr, Reduce, SacPlanError, TupleExpr, Var, VarPat,
+    desugar, free_vars, normalize, parse, pattern_vars, to_source,
+)
+
+
+def pipeline(source: str, is_array=lambda _n: True):
+    return normalize(desugar(parse(source), is_array=is_array))
+
+
+def quals(expr):
+    assert isinstance(expr, Comprehension)
+    return expr.qualifiers
+
+
+# ----------------------------------------------------------------------
+# Desugaring
+# ----------------------------------------------------------------------
+
+
+def test_group_by_key_form_becomes_let_plus_group_by():
+    expr = desugar(parse("[ (k, +/c) | ((i,j),c) <- A, group by k: (i, j) ]"))
+    gb = [q for q in quals(expr) if isinstance(q, GroupByQual)]
+    lets = [q for q in quals(expr) if isinstance(q, LetQual)]
+    assert len(gb) == 1 and gb[0].key is None and gb[0].pattern == VarPat("k")
+    assert any(q.pattern == VarPat("k") for q in lets)
+
+
+def test_group_by_bare_expression_gets_fresh_key():
+    expr = desugar(parse("[ (i/N, v) | (i,v) <- L, group by i/N ]"))
+    gb = [q for q in quals(expr) if isinstance(q, GroupByQual)][0]
+    assert gb.pattern is not None and gb.key is None
+    # The head occurrence of i/N must now reference the key variable.
+    key_name = gb.pattern.name
+    assert isinstance(expr.head, TupleExpr)
+    assert expr.head.items[0] == Var(key_name)
+
+
+def test_avg_decomposes_into_sum_over_count():
+    expr = desugar(parse("[ (i, avg/v) | (i,v) <- V, group by i ]"))
+    value = expr.head.items[1]
+    assert isinstance(value, BinOp) and value.op == "/"
+    assert value.left == Reduce("+", Var("v"))
+    assert value.right == Reduce("count", Var("v"))
+
+
+def test_indexing_rule_adds_generator_and_guards():
+    expr = desugar(
+        parse("[ ((i,j), a + N[i, j]) | ((i,j),a) <- M ]"),
+        is_array=lambda name: name in ("M", "N"),
+    )
+    generators = [q for q in quals(expr) if isinstance(q, Generator)]
+    guards = [q for q in quals(expr) if isinstance(q, Guard)]
+    assert len(generators) == 2
+    assert generators[1].source == Var("N")
+    assert len(guards) == 2  # one per index
+    assert not any(isinstance(node, Index) for node in _walk_exprs(expr))
+
+
+def test_indexing_rule_ignores_non_arrays():
+    expr = desugar(
+        parse("[ (i, a + N[i, i]) | (i,a) <- M ]"),
+        is_array=lambda name: name == "M",
+    )
+    generators = [q for q in quals(expr) if isinstance(q, Generator)]
+    assert len(generators) == 1  # N stays as direct indexing
+
+
+def test_indexing_rule_ignores_locally_bound_names():
+    # `a` is generator-bound: a[i] must not be rewritten even if the
+    # predicate claims everything is an array.
+    expr = desugar(
+        parse("[ (i, a[0]) | (i,a) <- M ]"), is_array=lambda _n: True
+    )
+    generators = [q for q in quals(expr) if isinstance(q, Generator)]
+    assert len(generators) == 1
+
+
+def test_indexing_after_group_by_rejected():
+    with pytest.raises(SacPlanError):
+        desugar(
+            parse("[ (i, W[i] + +/v) | (i,v) <- M, group by i ]"),
+            is_array=lambda _n: True,
+        )
+
+
+def _walk_exprs(expr):
+    from repro.comprehension.ast import walk
+
+    return list(walk(expr))
+
+
+# ----------------------------------------------------------------------
+# Normalization: Rule (3) unnesting
+# ----------------------------------------------------------------------
+
+
+def test_unnest_inner_comprehension():
+    expr = pipeline("[ x + 1 | x <- [ v * 2 | (i,v) <- V ] ]")
+    inner = [
+        q for q in quals(expr) if isinstance(q, Generator)
+        and isinstance(q.source, Comprehension)
+    ]
+    assert not inner  # fully flattened
+    generators = [q for q in quals(expr) if isinstance(q, Generator)]
+    assert len(generators) == 1
+    assert generators[0].source == Var("V")
+
+
+def test_unnest_renames_to_avoid_capture():
+    # Both levels use the name `v`; after unnesting they must differ.
+    expr = pipeline("[ v | v <- [ v | (i,v) <- V ] ]")
+    generators = [q for q in quals(expr) if isinstance(q, Generator)]
+    bound = pattern_vars(generators[0].pattern)
+    # The head variable must be resolvable to something bound.
+    assert free_vars(expr) == {"V"}
+    assert len(bound) == 2
+
+
+def test_unnest_preserves_group_by_inner():
+    # Inner comprehensions WITH group-by must not be flattened.
+    source = "[ x | x <- [ (i, +/v) | (i,v) <- V, group by i ] ]"
+    expr = normalize(desugar(parse(source)))
+    generators = [q for q in quals(expr) if isinstance(q, Generator)]
+    assert isinstance(generators[0].source, Comprehension)
+
+
+def test_builder_sparsifier_fusion():
+    # Traversing a freshly built matrix traverses its association list.
+    expr = pipeline("[ v | ((i,j),v) <- matrix(n,m)[ ((i,j),x) | ((i,j),x) <- M ] ]")
+    generators = [q for q in quals(expr) if isinstance(q, Generator)]
+    assert len(generators) == 1
+    assert generators[0].source == Var("M")
+
+
+# ----------------------------------------------------------------------
+# Guards
+# ----------------------------------------------------------------------
+
+
+def test_conjunction_splits_into_guards():
+    expr = pipeline("[ v | (i,v) <- V, i > 1 && v < 5 ]")
+    guards = [q for q in quals(expr) if isinstance(q, Guard)]
+    assert len(guards) == 2
+
+
+def test_guard_pushdown_moves_filter_before_second_generator():
+    expr = pipeline("[ (v, w) | (i,v) <- V, (j,w) <- W, i > 1 ]")
+    names = [type(q).__name__ for q in quals(expr)]
+    assert names == ["Generator", "Guard", "Generator"]
+
+
+def test_guard_on_both_generators_stays_after_both():
+    expr = pipeline("[ (v, w) | (i,v) <- V, (j,w) <- W, i == j + 1 ]")
+    names = [type(q).__name__ for q in quals(expr)]
+    assert names == ["Generator", "Generator", "Guard"]
+
+
+def test_guard_never_crosses_group_by():
+    source = "[ (i, +/v) | (i,v) <- V, group by i, +/v > 10 ]"
+    expr = normalize(desugar(parse(source)))
+    kinds = [type(q).__name__ for q in quals(expr)]
+    assert kinds.index("GroupByQual") < kinds.index("Guard")
+
+
+# ----------------------------------------------------------------------
+# Range handling
+# ----------------------------------------------------------------------
+
+
+def test_inclusive_range_normalizes_to_exclusive():
+    expr = pipeline("[ i | i <- 1 to n ]")
+    gen = quals(expr)[0]
+    assert isinstance(gen.source, RangeExpr)
+    assert not gen.source.inclusive
+    assert gen.source.hi == BinOp("+", Var("n"), Lit(1))
+
+
+def test_range_fusion_on_equality():
+    # i <- 0 until n, j <- 0 until m, i == j  =>  one range + let.
+    expr = pipeline("[ (i, j) | i <- 0 until n, j <- 0 until m, j == i ]")
+    generators = [q for q in quals(expr) if isinstance(q, Generator)]
+    assert len(generators) == 1
+    fused = generators[0].source
+    assert isinstance(fused, RangeExpr)
+    assert fused.hi == Call("min", (Var("n"), Var("m")))
+    assert not any(isinstance(q, Guard) for q in quals(expr))
+
+
+def test_range_fusion_identical_bounds_no_min():
+    expr = pipeline("[ i | i <- 0 until n, j <- 0 until n, i == j ]")
+    generators = [q for q in quals(expr) if isinstance(q, Generator)]
+    assert len(generators) == 1
+    assert generators[0].source == RangeExpr(Lit(0), Var("n"), False)
+
+
+# ----------------------------------------------------------------------
+# Cleanup passes
+# ----------------------------------------------------------------------
+
+
+def test_trivial_let_inlined():
+    expr = pipeline("[ x | (i,v) <- V, let x = v ]")
+    assert not any(isinstance(q, LetQual) for q in quals(expr))
+    assert expr.head == Var("v")
+
+
+def test_literal_let_inlined():
+    expr = pipeline("[ v * c | (i,v) <- V, let c = 2 ]")
+    assert not any(isinstance(q, LetQual) for q in quals(expr))
+    assert expr.head == BinOp("*", Var("v"), Lit(2))
+
+
+def test_nontrivial_let_kept():
+    expr = pipeline("[ x | (i,v) <- V, let x = v * v ]")
+    assert any(isinstance(q, LetQual) for q in quals(expr))
+
+
+def test_constant_folding():
+    assert normalize(parse("1 + 2 * 3")) == Lit(7)
+    assert normalize(parse("4 / 2")) == Lit(2)
+    assert normalize(parse("1 < 2")) == Lit(True)
+    assert normalize(parse("-(3)")) == Lit(-3)
+
+
+def test_normalize_is_idempotent():
+    source = (
+        "matrix(n,m)[ ((i,j),a+b) | ((i,j),a) <- M, ((ii,jj),b) <- N,"
+        " ii == i, jj == j ]"
+    )
+    once = pipeline(source)
+    twice = normalize(once)
+    assert to_source(once) == to_source(twice)

@@ -1,0 +1,299 @@
+"""Tests for the DIABLO-style loop front end (paper Section 1.1)."""
+
+import numpy as np
+import pytest
+
+from repro import SacSession
+from repro.comprehension.errors import SacPlanError, SacSyntaxError
+from repro.diablo import (
+    Assign, ForLoop, IfStmt, VarDecl, parse_program, run, translate,
+)
+from repro.engine import TINY_CLUSTER
+from repro.planner import (
+    RULE_GROUP_BY_JOIN, RULE_PRESERVE_TILING, RULE_TILED_REDUCE,
+)
+
+RNG = np.random.default_rng(55)
+
+
+@pytest.fixture()
+def session():
+    return SacSession(cluster=TINY_CLUSTER, tile_size=10)
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+def test_parse_var_decl():
+    program = parse_program("var C: matrix(n, m)")
+    assert program.statements == (VarDecl("C", "matrix", program.statements[0].args),)
+    assert len(program.statements[0].args) == 2
+
+
+def test_parse_for_loop_structure():
+    program = parse_program("""
+        for i = 0, n-1 do
+          V[i] += 1.0
+        end
+    """)
+    loop = program.statements[0]
+    assert isinstance(loop, ForLoop)
+    assert loop.var == "i"
+    assert isinstance(loop.body[0], Assign)
+    assert loop.body[0].op == "+="
+
+
+def test_parse_nested_loops_and_if():
+    program = parse_program("""
+        for i = 0, 9 do
+          for j = 0, 9 do
+            if (i != j) C[i, j] += 1.0
+          end
+        end
+    """)
+    outer = program.statements[0]
+    inner = outer.body[0]
+    assert isinstance(inner, ForLoop)
+    assert isinstance(inner.body[0], IfStmt)
+
+
+def test_parse_assignment_operators():
+    program = parse_program("a = 1; b += 2; c *= 3; d := 4")
+    ops = [s.op for s in program.statements]
+    assert ops == ["=", "+=", "*=", "="]
+
+
+def test_parse_unterminated_loop():
+    with pytest.raises(SacSyntaxError):
+        parse_program("for i = 0, 9 do V[i] += 1.0")
+
+
+def test_parse_bad_statement():
+    with pytest.raises(SacSyntaxError):
+        parse_program("42")
+
+
+# ----------------------------------------------------------------------
+# Translation
+# ----------------------------------------------------------------------
+
+
+def test_translate_accumulation_to_group_by():
+    [stmt] = translate("""
+        var V: vector(n)
+        for i = 0, n-1 do
+          for j = 0, m-1 do
+            V[i] += M[i, j]
+          end
+        end
+    """)
+    assert stmt.target == "V"
+    assert "group by i" in stmt.source
+    assert "+/" in stmt.source
+
+
+def test_translate_plain_assignment_no_group_by():
+    [stmt] = translate("""
+        var T: matrix(m, n)
+        for i = 0, n-1 do
+          for j = 0, m-1 do
+            T[j, i] = M[i, j]
+          end
+        end
+    """)
+    assert "group by" not in stmt.source
+
+
+def test_translate_if_becomes_guard():
+    [stmt] = translate("""
+        var D: vector(n)
+        for i = 0, n-1 do
+          for j = 0, n-1 do
+            if (i == j) D[i] += M[i, j]
+          end
+        end
+    """)
+    assert "i == j" in stmt.source
+
+
+def test_translate_scalar_accumulation():
+    [stmt] = translate("""
+        for i = 0, n-1 do
+          total += V[i]
+        end
+    """)
+    assert stmt.target == "total"
+    assert stmt.source.startswith("+/")
+
+
+def test_translate_requires_declaration():
+    with pytest.raises(SacPlanError):
+        translate("for i = 0, 9 do V[i] += 1.0 end")
+
+
+def test_translate_rejects_nondeterministic_assignment():
+    with pytest.raises(SacPlanError):
+        translate("""
+            var V: vector(n)
+            for i = 0, n-1 do
+              for j = 0, m-1 do
+                V[i] = M[i, j]
+              end
+            end
+        """)
+
+
+def test_translate_rejects_scalar_overwrite_in_loop():
+    with pytest.raises(SacPlanError):
+        translate("for i = 0, 9 do s = i end")
+
+
+def test_translate_rejects_decl_inside_loop():
+    with pytest.raises(SacPlanError):
+        translate("for i = 0, 9 do var V: vector(n); V[i] += 1.0 end")
+
+
+def test_translated_queries_reparse():
+    from repro.comprehension import parse
+
+    for stmt in translate("""
+        var C: tiled(n, m)
+        for i = 0, n-1 do
+          for k = 0, l-1 do
+            for j = 0, m-1 do
+              C[i, j] += A[i, k] * B[k, j]
+            end
+          end
+        end
+    """):
+        parse(stmt.source)  # must be valid SAC text
+
+
+# ----------------------------------------------------------------------
+# End-to-end execution and plan selection
+# ----------------------------------------------------------------------
+
+
+def test_row_sum_loop_compiles_to_tiled_reduce(session):
+    a = RNG.uniform(0, 9, size=(12, 17))
+    program = """
+        var V: tiled_vector(n)
+        for i = 0, n-1 do
+          for j = 0, m-1 do
+            V[i] += M[i, j]
+          end
+        end
+    """
+    env = {"M": session.tiled(a), "n": 12, "m": 17}
+    [stmt] = translate(program)
+    compiled = session.compile(stmt.source, env)
+    assert compiled.plan.rule == RULE_TILED_REDUCE
+    result = run(session, program, env)
+    np.testing.assert_allclose(result["V"].to_numpy(), a.sum(axis=1))
+
+
+def test_matmul_loop_compiles_to_group_by_join(session):
+    a = RNG.uniform(0, 9, size=(12, 15))
+    b = RNG.uniform(0, 9, size=(15, 9))
+    program = """
+        var C: tiled(n, m)
+        for i = 0, n-1 do
+          for k = 0, l-1 do
+            for j = 0, m-1 do
+              C[i, j] += A[i, k] * B[k, j]
+            end
+          end
+        end
+    """
+    env = {"A": session.tiled(a), "B": session.tiled(b), "n": 12, "l": 15, "m": 9}
+    [stmt] = translate(program)
+    compiled = session.compile(stmt.source, env)
+    assert compiled.plan.rule == RULE_GROUP_BY_JOIN
+    result = run(session, program, env)
+    np.testing.assert_allclose(result["C"].to_numpy(), a @ b, rtol=1e-10)
+
+
+def test_transpose_loop_compiles_to_preserve_tiling(session):
+    a = RNG.uniform(0, 9, size=(12, 17))
+    program = """
+        var T: tiled(m, n)
+        for i = 0, n-1 do
+          for j = 0, m-1 do
+            T[j, i] = M[i, j]
+          end
+        end
+    """
+    env = {"M": session.tiled(a), "n": 12, "m": 17}
+    [stmt] = translate(program)
+    compiled = session.compile(stmt.source, env)
+    assert compiled.plan.rule == RULE_PRESERVE_TILING
+    result = run(session, program, env)
+    np.testing.assert_allclose(result["T"].to_numpy(), a.T)
+
+
+def test_scalar_total(session):
+    a = RNG.uniform(0, 9, size=(8, 8))
+    result = run(session, """
+        for i = 0, n-1 do
+          for j = 0, n-1 do
+            total += M[i, j]
+          end
+        end
+    """, {"M": session.tiled(a), "n": 8})
+    assert np.isclose(result["total"], a.sum())
+
+
+def test_conditional_trace(session):
+    a = RNG.uniform(0, 9, size=(10, 10))
+    result = run(session, """
+        for i = 0, n-1 do
+          for j = 0, n-1 do
+            if (i == j) trace += M[i, j]
+          end
+        end
+    """, {"M": session.tiled(a), "n": 10})
+    assert np.isclose(result["trace"], np.trace(a))
+
+
+def test_sequential_statements_see_earlier_results(session):
+    a = RNG.uniform(0, 9, size=(6, 6))
+    result = run(session, """
+        var S: tiled(n, n)
+        for i = 0, n-1 do
+          for j = 0, n-1 do
+            S[i, j] = M[i, j] + M[j, i]
+          end
+        end
+        for i = 0, n-1 do
+          for j = 0, n-1 do
+            total += S[i, j]
+          end
+        end
+    """, {"M": session.tiled(a), "n": 6})
+    np.testing.assert_allclose(result["S"].to_numpy(), a + a.T)
+    assert np.isclose(result["total"], (a + a.T).sum())
+
+
+def test_product_accumulation(session):
+    v = np.array([1.0, 2.0, 3.0, 4.0])
+    result = run(session, """
+        for i = 0, n-1 do
+          product *= V[i]
+        end
+    """, {"V": session.tiled_vector(v), "n": 4})
+    assert np.isclose(result["product"], 24.0)
+
+
+def test_reads_old_array_not_in_place(session):
+    """`V[i] = V[i+1]` shifts using the *old* vector (DIABLO semantics),
+    unlike an in-place sequential loop which would propagate."""
+    v = np.array([1.0, 2.0, 3.0, 4.0])
+    result = run(session, """
+        var W: tiled_vector(n)
+        for i = 0, n-2 do
+          W[i] = V[i + 1]
+        end
+    """, {"V": session.tiled_vector(v), "n": 4})
+    np.testing.assert_allclose(result["W"].to_numpy(), [2.0, 3.0, 4.0, 0.0])

@@ -1,0 +1,104 @@
+"""Property tests: translated loop programs match direct Python loops."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import SacSession
+from repro.diablo import run
+from repro.engine import TINY_CLUSTER
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+dims = st.integers(min_value=1, max_value=10)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def session():
+    return SacSession(cluster=TINY_CLUSTER, tile_size=4)
+
+
+@SETTINGS
+@given(n=dims, m=dims, seed=seeds)
+def test_row_sum_loop_matches_python(n, m, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-5, 5, size=(n, m))
+    s = session()
+    env = run(s, """
+        var V: tiled_vector(n)
+        for i = 0, n-1 do
+          for j = 0, m-1 do
+            V[i] += M[i, j]
+          end
+        end
+    """, {"M": s.tiled(a), "n": n, "m": m})
+
+    expected = np.zeros(n)
+    for i in range(n):
+        for j in range(m):
+            expected[i] += a[i, j]
+    np.testing.assert_allclose(env["V"].to_numpy(), expected, rtol=1e-9)
+
+
+@SETTINGS
+@given(n=dims, k=dims, m=dims, seed=seeds)
+def test_matmul_loop_matches_python(n, k, m, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-3, 3, size=(n, k))
+    b = rng.uniform(-3, 3, size=(k, m))
+    s = session()
+    env = run(s, """
+        var C: tiled(n, m)
+        for i = 0, n-1 do
+          for kk = 0, l-1 do
+            for j = 0, m-1 do
+              C[i, j] += A[i, kk] * B[kk, j]
+            end
+          end
+        end
+    """, {"A": s.tiled(a), "B": s.tiled(b), "n": n, "l": k, "m": m})
+    np.testing.assert_allclose(env["C"].to_numpy(), a @ b, rtol=1e-8, atol=1e-10)
+
+
+@SETTINGS
+@given(n=dims, m=dims, seed=seeds, threshold=st.floats(-5, 5))
+def test_conditional_sum_loop_matches_python(n, m, seed, threshold):
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-5, 5, size=(n, m))
+    s = session()
+    env = run(s, """
+        for i = 0, n-1 do
+          for j = 0, m-1 do
+            if (M[i, j] > t) total += M[i, j]
+          end
+        end
+    """, {"M": s.tiled(a), "n": n, "m": m, "t": threshold})
+
+    expected = 0.0
+    for i in range(n):
+        for j in range(m):
+            if a[i, j] > threshold:
+                expected += a[i, j]
+    assert np.isclose(env["total"], expected, rtol=1e-9, atol=1e-12)
+
+
+@SETTINGS
+@given(n=dims, m=dims, seed=seeds)
+def test_scale_assignment_loop_matches_python(n, m, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-5, 5, size=(n, m))
+    s = session()
+    env = run(s, """
+        var S: tiled(n, m)
+        for i = 0, n-1 do
+          for j = 0, m-1 do
+            S[i, j] = 2.0 * M[i, j] + 1.0
+          end
+        end
+    """, {"M": s.tiled(a), "n": n, "m": m})
+    np.testing.assert_allclose(env["S"].to_numpy(), 2 * a + 1, rtol=1e-12)

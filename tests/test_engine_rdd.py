@@ -1,0 +1,359 @@
+"""Unit tests for the engine's RDD transformations and actions."""
+
+import pytest
+
+from repro.engine import EngineContext, HashPartitioner, TINY_CLUSTER
+
+
+@pytest.fixture()
+def ctx():
+    return EngineContext(cluster=TINY_CLUSTER, default_parallelism=4)
+
+
+def test_parallelize_collect_roundtrip(ctx):
+    data = list(range(23))
+    assert ctx.parallelize(data, 5).collect() == data
+
+
+def test_parallelize_preserves_order_across_partitions(ctx):
+    data = ["a", "b", "c", "d", "e"]
+    assert ctx.parallelize(data, 3).collect() == data
+
+
+def test_parallelize_empty(ctx):
+    assert ctx.parallelize([], 4).collect() == []
+
+
+def test_parallelize_caps_partitions_at_data_size(ctx):
+    rdd = ctx.parallelize([1, 2], 100)
+    assert rdd.num_partitions <= 2
+    assert rdd.collect() == [1, 2]
+
+
+def test_map(ctx):
+    assert ctx.parallelize(range(5), 2).map(lambda x: x * x).collect() == [0, 1, 4, 9, 16]
+
+
+def test_flat_map(ctx):
+    result = ctx.parallelize([1, 2, 3], 2).flat_map(lambda x: [x] * x).collect()
+    assert result == [1, 2, 2, 3, 3, 3]
+
+
+def test_filter(ctx):
+    result = ctx.parallelize(range(10), 3).filter(lambda x: x % 2 == 0).collect()
+    assert result == [0, 2, 4, 6, 8]
+
+
+def test_map_partitions(ctx):
+    result = (
+        ctx.parallelize(range(10), 2)
+        .map_partitions(lambda it: iter([sum(it)]))
+        .collect()
+    )
+    assert sum(result) == 45
+    assert len(result) == 2
+
+
+def test_map_partitions_with_index(ctx):
+    result = (
+        ctx.parallelize(range(4), 2)
+        .map_partitions_with_index(lambda i, it: ((i, x) for x in it))
+        .collect()
+    )
+    assert result == [(0, 0), (0, 1), (1, 2), (1, 3)]
+
+
+def test_map_values_keeps_keys(ctx):
+    pairs = [("a", 1), ("b", 2)]
+    assert ctx.parallelize(pairs, 2).map_values(lambda v: v * 10).collect() == [
+        ("a", 10),
+        ("b", 20),
+    ]
+
+
+def test_flat_map_values(ctx):
+    pairs = [("a", 2), ("b", 1)]
+    result = ctx.parallelize(pairs, 1).flat_map_values(lambda v: range(v)).collect()
+    assert result == [("a", 0), ("a", 1), ("b", 0)]
+
+
+def test_keys_values_key_by(ctx):
+    pairs = [(1, "x"), (2, "y")]
+    rdd = ctx.parallelize(pairs, 2)
+    assert rdd.keys().collect() == [1, 2]
+    assert rdd.values().collect() == ["x", "y"]
+    assert ctx.parallelize([3, 4], 1).key_by(lambda x: x % 2).collect() == [(1, 3), (0, 4)]
+
+
+def test_glom(ctx):
+    parts = ctx.parallelize(range(6), 3).glom().collect()
+    assert parts == [[0, 1], [2, 3], [4, 5]]
+
+
+def test_zip_with_index(ctx):
+    result = ctx.parallelize(["a", "b", "c", "d"], 3).zip_with_index().collect()
+    assert result == [("a", 0), ("b", 1), ("c", 2), ("d", 3)]
+
+
+def test_union(ctx):
+    left = ctx.parallelize([1, 2], 2)
+    right = ctx.parallelize([3, 4], 1)
+    assert left.union(right).collect() == [1, 2, 3, 4]
+
+
+def test_cartesian(ctx):
+    left = ctx.parallelize([1, 2], 2)
+    right = ctx.parallelize(["x", "y"], 2)
+    assert sorted(left.cartesian(right).collect()) == [
+        (1, "x"),
+        (1, "y"),
+        (2, "x"),
+        (2, "y"),
+    ]
+
+
+def test_coalesce(ctx):
+    rdd = ctx.parallelize(range(10), 5).coalesce(2)
+    assert rdd.num_partitions == 2
+    assert rdd.collect() == list(range(10))
+
+
+def test_coalesce_to_more_partitions_is_noop(ctx):
+    rdd = ctx.parallelize(range(4), 2)
+    assert rdd.coalesce(8) is rdd
+
+
+def test_repartition_preserves_multiset(ctx):
+    rdd = ctx.parallelize(range(20), 2).repartition(5)
+    assert rdd.num_partitions == 5
+    assert sorted(rdd.collect()) == list(range(20))
+
+
+def test_distinct(ctx):
+    result = ctx.parallelize([1, 2, 2, 3, 3, 3], 3).distinct().collect()
+    assert sorted(result) == [1, 2, 3]
+
+
+def test_sample_deterministic(ctx):
+    rdd = ctx.parallelize(range(1000), 4)
+    first = rdd.sample(0.1, seed=7).collect()
+    second = rdd.sample(0.1, seed=7).collect()
+    assert first == second
+    assert 40 < len(first) < 200
+
+
+def test_sample_rejects_bad_fraction(ctx):
+    with pytest.raises(ValueError):
+        ctx.parallelize([1], 1).sample(1.5)
+
+
+# ----------------------------------------------------------------------
+# Keyed / wide transformations
+# ----------------------------------------------------------------------
+
+
+def test_reduce_by_key(ctx):
+    pairs = [("a", 1), ("b", 2), ("a", 3), ("b", 4), ("c", 5)]
+    result = dict(ctx.parallelize(pairs, 3).reduce_by_key(lambda a, b: a + b).collect())
+    assert result == {"a": 4, "b": 6, "c": 5}
+
+
+def test_fold_by_key(ctx):
+    pairs = [("a", 1), ("a", 2), ("b", 3)]
+    # Zero is applied once per key per map partition (Spark semantics):
+    # with one partition each key sees the zero exactly once.
+    result = dict(ctx.parallelize(pairs, 1).fold_by_key(10, lambda a, b: a + b).collect())
+    assert result == {"a": 13, "b": 13}
+
+
+def test_aggregate_by_key(ctx):
+    pairs = [("a", 1), ("a", 2), ("b", 3)]
+    result = dict(
+        ctx.parallelize(pairs, 1)
+        .aggregate_by_key((0, 0), lambda acc, v: (acc[0] + v, acc[1] + 1), lambda x, y: (x[0] + y[0], x[1] + y[1]))
+        .collect()
+    )
+    assert result == {"a": (3, 2), "b": (3, 1)}
+
+
+def test_group_by_key(ctx):
+    pairs = [("a", 1), ("b", 2), ("a", 3)]
+    result = {k: sorted(v) for k, v in ctx.parallelize(pairs, 3).group_by_key().collect()}
+    assert result == {"a": [1, 3], "b": [2]}
+
+
+def test_join(ctx):
+    left = ctx.parallelize([("a", 1), ("b", 2), ("a", 3)], 2)
+    right = ctx.parallelize([("a", "x"), ("c", "y")], 2)
+    result = sorted(left.join(right).collect())
+    assert result == [("a", (1, "x")), ("a", (3, "x"))]
+
+
+def test_left_outer_join(ctx):
+    left = ctx.parallelize([("a", 1), ("b", 2)], 2)
+    right = ctx.parallelize([("a", "x")], 1)
+    result = dict(left.left_outer_join(right).collect())
+    assert result == {"a": (1, "x"), "b": (2, None)}
+
+
+def test_right_outer_join(ctx):
+    left = ctx.parallelize([("a", 1)], 1)
+    right = ctx.parallelize([("a", "x"), ("b", "y")], 2)
+    result = dict(left.right_outer_join(right).collect())
+    assert result == {"a": (1, "x"), "b": (None, "y")}
+
+
+def test_full_outer_join(ctx):
+    left = ctx.parallelize([("a", 1)], 1)
+    right = ctx.parallelize([("b", "y")], 1)
+    result = dict(left.full_outer_join(right).collect())
+    assert result == {"a": (1, None), "b": (None, "y")}
+
+
+def test_cogroup(ctx):
+    left = ctx.parallelize([("a", 1), ("a", 2)], 2)
+    right = ctx.parallelize([("a", "x"), ("b", "y")], 2)
+    result = {k: (sorted(l), sorted(r)) for k, (l, r) in left.cogroup(right).collect()}
+    assert result == {"a": ([1, 2], ["x"]), "b": ([], ["y"])}
+
+
+def test_partition_by_places_keys_deterministically(ctx):
+    pairs = [(i, i) for i in range(20)]
+    partitioner = HashPartitioner(4)
+    rdd = ctx.parallelize(pairs, 3).partition_by(partitioner)
+    parts = rdd.glom().collect()
+    for split, part in enumerate(parts):
+        for key, _value in part:
+            assert partitioner.partition(key) == split
+
+
+def test_partition_by_same_partitioner_is_noop(ctx):
+    partitioner = HashPartitioner(4)
+    rdd = ctx.parallelize([(1, 1)], 1).partition_by(partitioner)
+    assert rdd.partition_by(HashPartitioner(4)) is rdd
+
+
+def test_count_by_key(ctx):
+    pairs = [("a", 1), ("a", 2), ("b", 1)]
+    assert ctx.parallelize(pairs, 2).count_by_key() == {"a": 2, "b": 1}
+
+
+def test_lookup_with_and_without_partitioner(ctx):
+    pairs = [(i, i * i) for i in range(10)]
+    plain = ctx.parallelize(pairs, 3)
+    assert plain.lookup(4) == [16]
+    partitioned = plain.partition_by(HashPartitioner(4))
+    assert partitioned.lookup(4) == [16]
+    assert partitioned.lookup(99) == []
+
+
+# ----------------------------------------------------------------------
+# Actions
+# ----------------------------------------------------------------------
+
+
+def test_count(ctx):
+    assert ctx.parallelize(range(17), 4).count() == 17
+
+
+def test_first_and_take(ctx):
+    rdd = ctx.parallelize(range(10), 4)
+    assert rdd.first() == 0
+    assert rdd.take(3) == [0, 1, 2]
+    assert rdd.take(0) == []
+    assert rdd.take(100) == list(range(10))
+
+
+def test_first_on_empty_raises(ctx):
+    with pytest.raises(ValueError):
+        ctx.parallelize([], 1).first()
+
+
+def test_reduce(ctx):
+    assert ctx.parallelize(range(1, 6), 3).reduce(lambda a, b: a * b) == 120
+
+
+def test_reduce_empty_raises(ctx):
+    with pytest.raises(ValueError):
+        ctx.parallelize([], 1).reduce(lambda a, b: a + b)
+
+
+def test_reduce_with_empty_partitions(ctx):
+    # 2 elements across 4 partitions leaves empty splits; reduce must skip them.
+    rdd = ctx.parallelize([5, 7], 2)
+    assert rdd.reduce(lambda a, b: a + b) == 12
+
+
+def test_fold_and_aggregate(ctx):
+    rdd = ctx.parallelize(range(10), 4)
+    assert rdd.fold(0, lambda a, b: a + b) == 45
+    total, count = rdd.aggregate(
+        (0, 0), lambda acc, x: (acc[0] + x, acc[1] + 1), lambda a, b: (a[0] + b[0], a[1] + b[1])
+    )
+    assert (total, count) == (45, 10)
+
+
+def test_sum_max_min(ctx):
+    rdd = ctx.parallelize([3, 1, 4, 1, 5], 2)
+    assert rdd.sum() == 14
+    assert rdd.max() == 5
+    assert rdd.min() == 1
+
+
+def test_is_empty(ctx):
+    assert ctx.parallelize([], 1).is_empty()
+    assert not ctx.parallelize([1], 1).is_empty()
+
+
+def test_collect_as_map(ctx):
+    assert ctx.parallelize([("a", 1), ("b", 2)], 2).collect_as_map() == {"a": 1, "b": 2}
+
+
+def test_foreach_with_accumulator(ctx):
+    acc = ctx.accumulator(0)
+    ctx.parallelize(range(5), 2).foreach(lambda x: acc.add(x))
+    assert acc.value == 10
+
+
+def test_broadcast(ctx):
+    table = ctx.broadcast({1: "one", 2: "two"})
+    result = ctx.parallelize([1, 2, 1], 2).map(lambda x: table.value[x]).collect()
+    assert result == ["one", "two", "one"]
+
+
+# ----------------------------------------------------------------------
+# Caching
+# ----------------------------------------------------------------------
+
+
+def test_cache_computes_once(ctx):
+    calls = []
+
+    def trace(x):
+        calls.append(x)
+        return x
+
+    rdd = ctx.parallelize(range(5), 2).map(trace).cache()
+    rdd.collect()
+    rdd.collect()
+    assert len(calls) == 5
+
+
+def test_unpersist_recomputes(ctx):
+    calls = []
+
+    def trace(x):
+        calls.append(x)
+        return x
+
+    rdd = ctx.parallelize(range(3), 1).map(trace).cache()
+    rdd.collect()
+    rdd.unpersist()
+    rdd.collect()
+    assert len(calls) == 6
+
+
+def test_lazy_until_action(ctx):
+    calls = []
+    ctx.parallelize(range(3), 1).map(calls.append)  # no action
+    assert calls == []

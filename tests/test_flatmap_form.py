@@ -1,0 +1,115 @@
+"""Tests for the Figure-3 flatMap-form desugaring."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.comprehension import (
+    Interpreter, SacTypeError, desugar, normalize, parse,
+)
+from repro.comprehension.flatmap_form import (
+    FlatMap, IfNil, LetIn, Singleton, evaluate, render, to_flatmap_form,
+)
+from repro.storage import DenseMatrix, DenseVector
+
+
+def form_of(source, env=None):
+    env = env or {}
+    comp = normalize(desugar(parse(source), is_array=lambda n: n in env))
+    return to_flatmap_form(comp)
+
+
+# ----------------------------------------------------------------------
+# Structure follows the rules
+# ----------------------------------------------------------------------
+
+
+def test_rule7_empty_qualifiers():
+    term = to_flatmap_form(parse("[ 1 | ]"))
+    assert isinstance(term, Singleton)
+
+
+def test_rule4_generator_becomes_flatmap():
+    term = form_of("[ v | (i,v) <- V ]")
+    assert isinstance(term, FlatMap)
+    assert isinstance(term.body, Singleton)
+
+
+def test_rule5_let_becomes_let_in():
+    term = to_flatmap_form(parse("[ w | (i,v) <- V, let w = v * v ]"))
+    assert isinstance(term, FlatMap)
+    assert isinstance(term.body, LetIn)
+
+
+def test_rule6_guard_becomes_if_nil():
+    term = to_flatmap_form(parse("[ v | (i,v) <- V, v > 0 ]"))
+    assert isinstance(term, FlatMap)
+    assert isinstance(term.body, IfNil)
+
+
+def test_group_by_rejected():
+    with pytest.raises(SacTypeError):
+        to_flatmap_form(parse("[ (i, +/v) | (i,v) <- V, group by i ]"))
+
+
+def test_render_matches_paper_notation():
+    text = render(to_flatmap_form(parse("[ v | (i,v) <- V, v > 0 ]")))
+    assert text == "V.flatMap(λ(i, v). if (v > 0) [ v ] else Nil)"
+
+
+def test_nested_generators_render_as_nested_flatmaps():
+    text = render(to_flatmap_form(parse("[ (x, y) | x <- A, y <- B ]")))
+    assert text.count(".flatMap(") == 2
+
+
+# ----------------------------------------------------------------------
+# Evaluation agrees with the comprehension semantics
+# ----------------------------------------------------------------------
+
+
+def test_evaluate_simple():
+    term = form_of("[ v * 2 | (i,v) <- V, v > 1 ]")
+    assert evaluate(term, {"V": [(0, 1), (1, 2), (2, 3)]}) == [4, 6]
+
+
+def test_evaluate_over_storage():
+    v = DenseVector(np.array([1.0, 2.0]))
+    term = form_of("[ (i, x + 1.0) | (i,x) <- V ]", {"V": v})
+    assert evaluate(term, {"V": v}) == [(0, 2.0), (1, 3.0)]
+
+
+def test_evaluate_join():
+    env = {
+        "A": [(0, "a"), (1, "b")],
+        "B": [(0, "x"), (1, "y")],
+    }
+    term = form_of("[ (u, w) | (i,u) <- A, (j,w) <- B, j == i ]")
+    assert evaluate(term, env) == [("a", "x"), ("b", "y")]
+
+
+SETTINGS = settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@SETTINGS
+@given(
+    n=st.integers(1, 6), m=st.integers(1, 6),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_flatmap_form_matches_interpreter(n, m, seed):
+    rng = np.random.default_rng(seed)
+    a = DenseMatrix.from_numpy(rng.uniform(-9, 9, size=(n, m)))
+    env = {"A": a, "t": 0.0}
+    for source in [
+        "[ ((i,j), v) | ((i,j),v) <- A ]",
+        "[ v | ((i,j),v) <- A, v > t ]",
+        "[ w | ((i,j),v) <- A, let w = v * v, i != j ]",
+        "[ (i, j) | ((i,j),v) <- A, i == j ]",
+    ]:
+        comp = normalize(desugar(parse(source), is_array=lambda x: x in env))
+        via_term = evaluate(to_flatmap_form(comp), env)
+        via_interpreter = Interpreter(env).evaluate(comp)
+        assert via_term == via_interpreter

@@ -1,0 +1,125 @@
+"""End-to-end integration scenarios combining several subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import SacSession
+from repro.core import ops
+from repro.diablo import run as run_loops
+from repro.engine import TINY_CLUSTER
+from repro.linalg import (
+    kmeans, reconstruction_error, sac_factorization_step, sac_factorize,
+)
+from repro.workloads import dense_uniform, factor_matrix, rating_matrix
+
+
+@pytest.fixture()
+def session():
+    return SacSession(cluster=TINY_CLUSTER, tile_size=12)
+
+
+def test_recommender_pipeline(session):
+    """Ratings → factorize → predict → rank users by predicted affinity,
+    every step through the compiler, cross-checked with NumPy."""
+    n, rank = 36, 6
+    r_np = rating_matrix(n, density=0.15, seed=1)
+    p_np = factor_matrix(n, rank, seed=2)
+    q_np = factor_matrix(n, rank, seed=3)
+
+    ratings = session.tiled(r_np).cache()
+    state = sac_factorize(
+        session, ratings, session.tiled(p_np), session.tiled(q_np),
+        iterations=3, gamma=0.0005,
+    )
+
+    # NumPy reference of the same three gradient steps.
+    p_ref, q_ref = p_np.copy(), q_np.copy()
+    for _ in range(3):
+        e = r_np - p_ref @ q_ref.T
+        p_new = p_ref + 0.0005 * (2 * (e @ q_ref) - 0.02 * p_ref)
+        q_ref = q_ref + 0.0005 * (2 * (e.T @ p_new) - 0.02 * q_ref)
+        p_ref = p_new
+    np.testing.assert_allclose(state.p.to_numpy(), p_ref, rtol=1e-8)
+    np.testing.assert_allclose(state.q.to_numpy(), q_ref, rtol=1e-8)
+
+    # Predicted ratings and per-user totals, as comprehensions.
+    predictions = ops.multiply_nt(session, state.p, state.q)
+    np.testing.assert_allclose(
+        predictions.to_numpy(), p_ref @ q_ref.T, rtol=1e-8
+    )
+    user_totals = ops.row_sums(session, predictions).to_numpy()
+    np.testing.assert_allclose(
+        user_totals, (p_ref @ q_ref.T).sum(axis=1), rtol=1e-8
+    )
+
+    # Objective value agrees too.
+    measured = reconstruction_error(session, ratings, state.p, state.q)
+    expected = float(((r_np - p_ref @ q_ref.T) ** 2).sum())
+    assert np.isclose(measured, expected, rtol=1e-8)
+
+
+def test_loops_feed_query_feed_kmeans(session):
+    """A loop program standardizes features, a comprehension projects
+    them, and k-means clusters the result."""
+    rng = np.random.default_rng(4)
+    group_a = rng.normal(loc=(0, 0), scale=0.3, size=(20, 2))
+    group_b = rng.normal(loc=(6, 6), scale=0.3, size=(20, 2))
+    raw = np.vstack([group_a, group_b]) * 10.0 + 5.0
+    X = session.tiled(raw)
+
+    # Column means via a loop program (DIABLO front end).
+    env = run_loops(session, """
+        var S: tiled_vector(m)
+        for i = 0, n-1 do
+          for j = 0, m-1 do
+            S[j] += X[i, j]
+          end
+        end
+    """, {"X": X, "n": 40, "m": 2})
+    means = env["S"].to_numpy() / 40
+    np.testing.assert_allclose(means, raw.mean(axis=0), rtol=1e-10)
+
+    # Center the data with a comprehension.
+    centered = session.run(
+        "tiled(n,m)[ ((i,j), x - mu) | ((i,j),x) <- X, (jj,mu) <- MU, jj == j ]",
+        X=X, MU=session.tiled_vector(means), n=40, m=2,
+    )
+    np.testing.assert_allclose(
+        centered.to_numpy(), raw - raw.mean(axis=0), rtol=1e-9
+    )
+
+    # Cluster; the two groups must separate.
+    result = kmeans(
+        session, centered, centered.to_numpy()[:2].copy(), iterations=15
+    )
+    labels = result.assignments
+    assert len(set(labels[:20])) == 1
+    assert len(set(labels[20:])) == 1
+    assert labels[0] != labels[20]
+
+
+def test_mixed_dense_sparse_analytics(session):
+    """Sparse interactions joined against dense embeddings."""
+    n, d = 30, 5
+    interactions_np = rating_matrix(n, density=0.12, seed=7)
+    embeddings_np = dense_uniform(n, d, seed=8) / 10
+
+    interactions = session.sparse_tiled(interactions_np)
+    embeddings = session.tiled(embeddings_np)
+
+    # Weighted embedding sums per user: a sparse x dense GBJ.
+    profile = session.run(
+        "tiled(n,d)[ ((u,f), +/w) | ((u,i),r) <- R, ((ii,f),e) <- E,"
+        " ii == i, let w = r*e, group by (u,f) ]",
+        R=interactions, E=embeddings, n=n, d=d,
+    )
+    np.testing.assert_allclose(
+        profile.to_numpy(), interactions_np @ embeddings_np, rtol=1e-9
+    )
+
+    # Activity counts per user straight off the sparse storage.
+    activity = dict(session.run(
+        "[ (u, count/r) | ((u,i),r) <- R, group by u ]", R=interactions
+    ))
+    for user, count in activity.items():
+        assert count == np.count_nonzero(interactions_np[user])

@@ -1,0 +1,345 @@
+"""Reference-interpreter tests: the paper's Sections 2–3 examples."""
+
+import numpy as np
+import pytest
+
+from repro.comprehension import (
+    Interpreter, SacNameError, SacPatternError, SacTypeError, desugar,
+    normalize, parse,
+)
+from repro.storage import CooMatrix, CsrMatrix, DenseMatrix, DenseVector
+
+
+def run(source, env, is_array=lambda _n: True):
+    expr = normalize(desugar(parse(source), is_array=is_array))
+    return Interpreter(env).evaluate(expr)
+
+
+@pytest.fixture()
+def matrices():
+    rng = np.random.default_rng(11)
+    m = DenseMatrix.from_numpy(rng.uniform(0, 10, size=(4, 5)))
+    n = DenseMatrix.from_numpy(rng.uniform(0, 10, size=(4, 5)))
+    return m, n
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+def test_arithmetic_and_logic():
+    assert run("1 + 2 * 3", {}) == 7
+    assert run("(1 + 2) * 3", {}) == 9
+    assert run("true && false || true", {})
+    assert run("!false", {})
+    assert run("-x", {"x": 4}) == -4
+
+
+def test_integer_division_is_scala_style():
+    assert run("7 / 2", {}) == 3
+    assert run("7.0 / 2", {}) == 3.5
+    assert run("7 % 3", {}) == 1
+
+
+def test_if_expression():
+    assert run("if (x > 0) x else 0 - x", {"x": -5}) == 5
+
+
+def test_builtin_calls():
+    assert run("min(3, 4)", {}) == 3
+    assert run("max(3, 4)", {}) == 4
+    assert run("abs(0 - 2)", {}) == 2
+    assert run("sqrt(9.0)", {}) == 3.0
+
+
+def test_env_function_call():
+    assert run("double(21)", {"double": lambda x: x * 2}) == 42
+
+
+def test_unknown_function_raises():
+    with pytest.raises(SacNameError):
+        run("mystery(1)", {})
+
+
+def test_unbound_variable_raises():
+    with pytest.raises(SacNameError):
+        run("x + 1", {})
+
+
+def test_field_access_on_record():
+    env = {"e": {"name": "alice", "dno": 2}}
+    assert run("e.name", env) == "alice"
+    with pytest.raises(SacNameError):
+        run("e.missing", env)
+
+
+def test_length_field():
+    assert run("v.length", {"v": [1, 2, 3]}) == 3
+
+
+def test_range_values():
+    assert run("[ i | i <- 0 until 4 ]", {}) == [0, 1, 2, 3]
+    assert run("[ i | i <- 1 to 3 ]", {}) == [1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# Comprehension basics
+# ----------------------------------------------------------------------
+
+
+def test_generator_over_list_of_pairs():
+    env = {"V": [(0, 10), (1, 20)]}
+    assert run("[ v + i | (i,v) <- V ]", env) == [10, 21]
+
+
+def test_guard_filters():
+    env = {"V": [(0, 1), (1, 5), (2, 9)]}
+    assert run("[ v | (i,v) <- V, v > 2 ]", env) == [5, 9]
+
+
+def test_let_binding():
+    env = {"V": [(0, 3)]}
+    assert run("[ w | (i,v) <- V, let w = v * v ]", env) == [9]
+
+
+def test_wildcard_pattern():
+    env = {"V": [(0, 1), (1, 2)]}
+    assert run("[ 1 | (_, _) <- V ]", env) == [1, 1]
+
+
+def test_pattern_mismatch_raises():
+    expr = normalize(desugar(parse("[ a | (a, b, c) <- V ]")))
+    with pytest.raises(SacPatternError):
+        Interpreter({"V": [(1, 2)]}).evaluate(expr)
+
+
+def test_cross_product_of_generators():
+    env = {"A": [(0, "a"), (1, "b")], "B": [(0, "x")]}
+    assert run("[ (v, w) | (i,v) <- A, (j,w) <- B ]", env) == [
+        ("a", "x"), ("b", "x"),
+    ]
+
+
+def test_dict_source_iterates_items():
+    env = {"D": {1: "one"}}
+    assert run("[ (k, v) | (k,v) <- D ]", env) == [(1, "one")]
+
+
+def test_non_iterable_source_raises():
+    with pytest.raises(SacTypeError):
+        run("[ x | x <- n ]", {"n": 42})
+
+
+# ----------------------------------------------------------------------
+# Group-by semantics (Rule 11)
+# ----------------------------------------------------------------------
+
+
+def test_group_by_lifts_variables():
+    env = {"V": [(0, 1), (0, 2), (1, 5)]}
+    result = run("[ (i, +/v) | (i,v) <- V, group by i ]", env)
+    assert result == [(0, 3), (1, 5)]
+
+
+def test_group_by_count():
+    env = {"V": [(0, 1), (0, 2), (1, 5)]}
+    assert run("[ (i, count(v)) | (i,v) <- V, group by i ]", env) == [(0, 2), (1, 1)]
+    assert run("[ (i, count/v) | (i,v) <- V, group by i ]", env) == [(0, 2), (1, 1)]
+
+
+def test_group_by_avg():
+    env = {"V": [(0, 2), (0, 4)]}
+    assert run("[ (i, avg/v) | (i,v) <- V, group by i ]", env) == [(0, 3.0)]
+
+
+def test_group_by_preserves_first_seen_order():
+    env = {"V": [(2, 1), (0, 1), (2, 1)]}
+    result = run("[ i | (i,v) <- V, group by i ]", env)
+    assert result == [2, 0]
+
+
+def test_employees_per_department():
+    """The paper's introduction example."""
+    env = {
+        "Employees": [
+            {"name": "ann", "dno": 1}, {"name": "bob", "dno": 1},
+            {"name": "cy", "dno": 2},
+        ],
+        "Departments": [
+            {"dnumber": 1, "name": "cs"}, {"dnumber": 2, "name": "ee"},
+        ],
+    }
+    result = run(
+        "[ (d.name, count(e)) | e <- Employees, d <- Departments,"
+        " e.dno == d.dnumber, group by d.name ]",
+        env, is_array=lambda _n: False,
+    )
+    assert sorted(result) == [("cs", 2), ("ee", 1)]
+
+
+def test_group_by_key_expression_form():
+    env = {"L": [(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0)], "N": 2}
+    result = run("[ (i/N, +/v) | (i,v) <- L, group by i/N ]", env)
+    assert result == [(0, 3.0), (1, 7.0)]
+
+
+def test_multiple_group_bys_lift_twice():
+    env = {"V": [((0, 0), 1), ((0, 1), 2), ((1, 0), 3)]}
+    # First group by (i, j), then by i: count(v) counts the (i, j)
+    # groups within each i group (v is lifted twice, to a list of lists).
+    result = run(
+        "[ (i, count(v)) | ((i,j),v) <- V, group by (i, j), group by i ]",
+        env,
+    )
+    assert result == [(0, 2), (1, 1)]
+
+
+def test_post_group_guard():
+    env = {"V": [(0, 1), (0, 2), (1, 10)]}
+    result = run("[ (i, +/v) | (i,v) <- V, group by i, +/v > 5 ]", env)
+    assert result == [(1, 10)]
+
+
+# ----------------------------------------------------------------------
+# Paper queries on dense storages
+# ----------------------------------------------------------------------
+
+
+def test_fig1_row_sums(matrices):
+    m, _ = matrices
+    result = run(
+        "vector(n)[ (i, +/m) | ((i,j),m) <- M, group by i ]",
+        {"M": m, "n": m.rows},
+    )
+    assert isinstance(result, DenseVector)
+    np.testing.assert_allclose(result.data, m.data.sum(axis=1))
+
+
+def test_query8_matrix_addition(matrices):
+    m, n = matrices
+    result = run(
+        "matrix(n,m)[ ((i,j),a+b) | ((i,j),a) <- M, ((ii,jj),b) <- N,"
+        " ii == i, jj == j ]",
+        {"M": m, "N": n, "n": m.rows, "m": m.cols},
+    )
+    np.testing.assert_allclose(result.data, m.data + n.data)
+
+
+def test_addition_via_indexing(matrices):
+    m, n = matrices
+    result = run(
+        "matrix(n,m)[ ((i,j),a+N[i,j]) | ((i,j),a) <- M ]",
+        {"M": m, "N": n, "n": m.rows, "m": m.cols},
+    )
+    np.testing.assert_allclose(result.data, m.data + n.data)
+
+
+def test_query9_matrix_multiplication():
+    rng = np.random.default_rng(5)
+    a = rng.normal(size=(3, 4))
+    b = rng.normal(size=(4, 2))
+    result = run(
+        "matrix(n,m)[ ((i,j),+/v) | ((i,k),a) <- A, ((kk,j),b) <- B,"
+        " kk == k, let v = a*b, group by (i,j) ]",
+        {"A": DenseMatrix.from_numpy(a), "B": DenseMatrix.from_numpy(b),
+         "n": 3, "m": 2},
+    )
+    np.testing.assert_allclose(result.data, a @ b)
+
+
+def test_matrix_smoothing():
+    a = np.arange(12, dtype=float).reshape(3, 4)
+    result = run(
+        "matrix(n,m)[ ((ii,jj),(+/a)/a.length) | ((i,j),a) <- M,"
+        " ii <- (i-1) to (i+1), jj <- (j-1) to (j+1),"
+        " ii >= 0, ii < n, jj >= 0, jj < m, group by (ii,jj) ]",
+        {"M": DenseMatrix.from_numpy(a), "n": 3, "m": 4},
+    )
+    # Check one interior and one corner cell against the definition.
+    assert np.isclose(result.get(1, 1), a[0:3, 0:3].mean())
+    assert np.isclose(result.get(0, 0), a[0:2, 0:2].mean())
+
+
+def test_sortedness_check():
+    sorted_v = DenseVector(np.array([1.0, 2.0, 3.0]))
+    unsorted_v = DenseVector(np.array([2.0, 1.0, 3.0]))
+    query = "&&/[ v <= w | (i,v) <- V, (j,w) <- V, j == i+1 ]"
+    assert run(query, {"V": sorted_v})
+    assert not run(query, {"V": unsorted_v})
+
+
+def test_matrix_transpose(matrices):
+    m, _ = matrices
+    result = run(
+        "matrix(m,n)[ ((j,i),v) | ((i,j),v) <- M ]",
+        {"M": m, "n": m.rows, "m": m.cols},
+    )
+    np.testing.assert_allclose(result.data, m.data.T)
+
+
+def test_vector_inner_product():
+    u = DenseVector(np.array([1.0, 2.0, 3.0]))
+    v = DenseVector(np.array([4.0, 5.0, 6.0]))
+    result = run("+/[ x * y | (i,x) <- U, (j,y) <- V, j == i ]", {"U": u, "V": v})
+    assert np.isclose(result, 32.0)
+
+
+def test_vector_outer_product():
+    u = DenseVector(np.array([1.0, 2.0]))
+    v = DenseVector(np.array([3.0, 4.0, 5.0]))
+    result = run(
+        "matrix(n,m)[ ((i,j), x*y) | (i,x) <- U, (j,y) <- V ]",
+        {"U": u, "V": v, "n": 2, "m": 3},
+    )
+    np.testing.assert_allclose(result.data, np.outer(u.data, v.data))
+
+
+def test_diagonal_extraction(matrices):
+    m, _ = matrices
+    result = run(
+        "vector(n)[ (i, v) | ((i,j),v) <- M, i == j ]",
+        {"M": m, "n": min(m.rows, m.cols)},
+    )
+    np.testing.assert_allclose(result.data, np.diag(m.data))
+
+
+# ----------------------------------------------------------------------
+# Storage interoperability in the interpreter
+# ----------------------------------------------------------------------
+
+
+def test_sparse_coo_only_traverses_nonzero():
+    coo = CooMatrix.from_items(3, 3, [((0, 0), 5.0), ((2, 1), 7.0)])
+    result = run("[ ((i,j),v) | ((i,j),v) <- M ]", {"M": coo})
+    assert result == [((0, 0), 5.0), ((2, 1), 7.0)]
+
+
+def test_mixed_storage_join():
+    dense = DenseMatrix.from_numpy(np.ones((2, 2)))
+    coo = CooMatrix.from_items(2, 2, [((0, 1), 3.0)])
+    result = run(
+        "matrix(n,m)[ ((i,j),a+b) | ((i,j),a) <- D, ((ii,jj),b) <- S,"
+        " ii == i, jj == j ]",
+        {"D": dense, "S": coo, "n": 2, "m": 2},
+    )
+    # Only the position present in the sparse matrix joins.
+    assert result.get(0, 1) == 4.0
+    assert result.get(0, 0) == 0.0
+
+
+def test_csr_roundtrip_through_comprehension():
+    a = np.array([[1.0, 0.0], [0.0, 2.0]])
+    csr = CsrMatrix.from_numpy(a)
+    result = run(
+        "csr(n,m)[ ((i,j), v * 2.0) | ((i,j),v) <- M ]",
+        {"M": csr, "n": 2, "m": 2},
+    )
+    assert isinstance(result, CsrMatrix)
+    np.testing.assert_allclose(result.to_numpy(), 2 * a)
+
+
+def test_numpy_arrays_act_as_storages():
+    a = np.arange(6.0).reshape(2, 3)
+    total = run("+/[ v | ((i,j),v) <- A ]", {"A": a})
+    assert total == a.sum()

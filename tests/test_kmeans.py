@@ -1,0 +1,89 @@
+"""Tests for comprehension-based k-means (ad-hoc expressiveness demo)."""
+
+import numpy as np
+import pytest
+
+from repro import SacSession
+from repro.engine import TINY_CLUSTER
+from repro.linalg import kmeans, kmeans_assign
+
+
+@pytest.fixture()
+def session():
+    return SacSession(cluster=TINY_CLUSTER, tile_size=16)
+
+
+def clustered_points(seed=0, per_cluster=25, scale=0.4):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [8.0, 8.0], [-8.0, 8.0]])
+    points = np.vstack(
+        [c + rng.normal(scale=scale, size=(per_cluster, 2)) for c in centers]
+    )
+    labels = np.repeat(np.arange(3), per_cluster)
+    perm = rng.permutation(len(points))
+    return points[perm], labels[perm], centers
+
+
+def test_assign_picks_nearest_centroid(session):
+    points_np = np.array([[0.0, 0.0], [9.9, 9.9], [0.1, 0.2]])
+    centroids_np = np.array([[0.0, 0.0], [10.0, 10.0]])
+    pairs = dict(
+        kmeans_assign(
+            session, session.tiled(points_np), session.tiled(centroids_np)
+        )
+    )
+    assert pairs == {0: 0, 1: 1, 2: 0}
+
+
+def test_assign_breaks_ties_to_lowest_index(session):
+    points_np = np.array([[0.0, 5.0]])  # equidistant to both centroids
+    centroids_np = np.array([[0.0, 0.0], [0.0, 10.0]])
+    pairs = kmeans_assign(
+        session, session.tiled(points_np), session.tiled(centroids_np)
+    )
+    assert pairs == [(0, 0)]
+
+
+def test_kmeans_recovers_separated_clusters(session):
+    points_np, labels, centers = clustered_points(seed=1)
+    result = kmeans(
+        session, session.tiled(points_np), points_np[:3].copy(), iterations=20
+    )
+    # Every true cluster maps to exactly one predicted cluster.
+    for true_label in range(3):
+        members = np.where(labels == true_label)[0]
+        assert len(set(result.assignments[members])) == 1
+    # Recovered centroids are near the true centers (order-insensitive).
+    found = sorted(map(tuple, np.round(result.centroids, 0)))
+    expected = sorted(map(tuple, centers))
+    for f, e in zip(found, expected):
+        assert abs(f[0] - e[0]) <= 1 and abs(f[1] - e[1]) <= 1
+
+
+def test_kmeans_converges_and_reports_iterations(session):
+    points_np, _, _ = clustered_points(seed=2)
+    result = kmeans(
+        session, session.tiled(points_np), points_np[:3].copy(), iterations=30
+    )
+    assert result.iterations < 30  # converged before the cap
+    assert result.inertia > 0
+
+
+def test_kmeans_inertia_decreases_with_more_iterations(session):
+    points_np, _, _ = clustered_points(seed=3, scale=1.5)
+    init = points_np[:3].copy()
+    one = kmeans(session, session.tiled(points_np), init, iterations=1)
+    many = kmeans(session, session.tiled(points_np), init, iterations=12)
+    assert many.inertia <= one.inertia + 1e-9
+
+
+def test_kmeans_single_cluster(session):
+    rng = np.random.default_rng(4)
+    points_np = rng.normal(size=(20, 3))
+    result = kmeans(
+        session, session.tiled(points_np), points_np[:1].copy(), iterations=10
+    )
+    assert set(result.assignments) == {0}
+    np.testing.assert_allclose(
+        result.centroids[0], points_np.mean(axis=0), rtol=1e-8
+    )

@@ -1,0 +1,304 @@
+"""Tests for the DSL lexer and parser."""
+
+import pytest
+
+from repro.comprehension import (
+    BinOp, BuilderApp, Call, Comprehension, Field, Generator, GroupByQual,
+    Guard, IfExpr, Index, LetQual, Lit, RangeExpr, Reduce, SacSyntaxError,
+    TupleExpr, TuplePat, UnOp, Var, VarPat, WildPat, parse, parse_pattern,
+    to_source, tokenize,
+)
+
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+
+
+def test_tokenize_kinds():
+    tokens = tokenize("x12 <- 0 until 3.5")
+    kinds = [t.kind for t in tokens]
+    assert kinds == ["ident", "op", "int", "keyword", "float", "eof"]
+
+
+def test_tokenize_operators_maximal_munch():
+    tokens = tokenize("<-<= == !=&&")
+    assert [t.text for t in tokens[:-1]] == ["<-", "<=", "==", "!=", "&&"]
+
+
+def test_tokenize_comment_and_whitespace():
+    tokens = tokenize("a # comment\n b")
+    assert [t.text for t in tokens[:-1]] == ["a", "b"]
+
+
+def test_tokenize_string_literal():
+    tokens = tokenize('"hello world"')
+    assert tokens[0].kind == "string"
+
+
+def test_tokenize_rejects_bad_char():
+    with pytest.raises(SacSyntaxError):
+        tokenize("a @ b")
+
+
+def test_tokenize_positions():
+    tokens = tokenize("ab cd")
+    assert tokens[0].position == 0
+    assert tokens[1].position == 3
+
+
+def test_tokenize_scientific_notation():
+    tokens = tokenize("1.5e-3 2e10")
+    assert [t.kind for t in tokens[:-1]] == ["float", "float"]
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+def test_parse_arithmetic_precedence():
+    assert parse("1 + 2 * 3") == BinOp("+", Lit(1), BinOp("*", Lit(2), Lit(3)))
+
+
+def test_parse_comparison_precedence():
+    expr = parse("a + 1 < b * 2")
+    assert isinstance(expr, BinOp) and expr.op == "<"
+
+
+def test_parse_logical_precedence():
+    expr = parse("a < b && c < d || e < f")
+    assert isinstance(expr, BinOp) and expr.op == "||"
+    assert isinstance(expr.left, BinOp) and expr.left.op == "&&"
+
+
+def test_parse_unary():
+    assert parse("-x") == UnOp("-", Var("x"))
+    assert parse("!a") == UnOp("!", Var("a"))
+
+
+def test_parse_tuple_and_parens():
+    assert parse("(a)") == Var("a")
+    assert parse("(a, b)") == TupleExpr((Var("a"), Var("b")))
+    assert parse("((a, b), c)") == TupleExpr(
+        (TupleExpr((Var("a"), Var("b"))), Var("c"))
+    )
+
+
+def test_parse_ranges():
+    assert parse("0 until n") == RangeExpr(Lit(0), Var("n"), False)
+    assert parse("(i-1) to (i+1)") == RangeExpr(
+        BinOp("-", Var("i"), Lit(1)), BinOp("+", Var("i"), Lit(1)), True
+    )
+
+
+def test_parse_if_expression():
+    expr = parse("if (a > 0) a else 0 - a")
+    assert isinstance(expr, IfExpr)
+
+
+def test_parse_field_access():
+    assert parse("a.length") == Field(Var("a"), "length")
+    assert parse("e.name") == Field(Var("e"), "name")
+
+
+def test_parse_indexing():
+    assert parse("V[i]") == Index(Var("V"), (Var("i"),))
+    assert parse("M[i, j+1]") == Index(
+        Var("M"), (Var("i"), BinOp("+", Var("j"), Lit(1)))
+    )
+
+
+def test_parse_call():
+    assert parse("f(x, y)") == Call("f", (Var("x"), Var("y")))
+    assert parse("g()") == Call("g", ())
+
+
+def test_parse_reductions():
+    assert parse("+/v") == Reduce("+", Var("v"))
+    assert parse("*/v") == Reduce("*", Var("v"))
+    assert parse("&&/v") == Reduce("&&", Var("v"))
+    assert parse("min/v") == Reduce("min", Var("v"))
+    assert parse("count/v") == Reduce("count", Var("v"))
+
+
+def test_reduce_binds_tighter_than_division():
+    # (+/a)/a.length: reduce first, then divide.
+    expr = parse("(+/a) / a.length")
+    assert isinstance(expr, BinOp) and expr.op == "/"
+    assert isinstance(expr.left, Reduce)
+
+
+def test_plain_division_still_works():
+    assert parse("a / b") == BinOp("/", Var("a"), Var("b"))
+    assert parse("i / N") == BinOp("/", Var("i"), Var("N"))
+
+
+def test_booleans():
+    assert parse("true") == Lit(True)
+    assert parse("false") == Lit(False)
+
+
+def test_numbers():
+    assert parse("42") == Lit(42)
+    assert parse("2.5") == Lit(2.5)
+
+
+def test_wildcard_rejected_in_expression():
+    with pytest.raises(SacSyntaxError):
+        parse("_ + 1")
+
+
+# ----------------------------------------------------------------------
+# Comprehensions and qualifiers
+# ----------------------------------------------------------------------
+
+
+def test_parse_simple_comprehension():
+    comp = parse("[ v | (i,v) <- V ]")
+    assert isinstance(comp, Comprehension)
+    assert comp.head == Var("v")
+    assert comp.qualifiers == (
+        Generator(TuplePat((VarPat("i"), VarPat("v"))), Var("V")),
+    )
+
+
+def test_parse_guard_vs_generator():
+    comp = parse("[ v | (i,v) <- V, i > 2, (j,w) <- W ]")
+    kinds = [type(q).__name__ for q in comp.qualifiers]
+    assert kinds == ["Generator", "Guard", "Generator"]
+
+
+def test_parse_let():
+    comp = parse("[ v | (i,v0) <- V, let v = v0 * 2 ]")
+    assert isinstance(comp.qualifiers[1], LetQual)
+
+
+def test_parse_group_by_pattern():
+    comp = parse("[ (i, +/m) | ((i,j),m) <- M, group by i ]")
+    gb = comp.qualifiers[-1]
+    assert gb == GroupByQual(VarPat("i"), None)
+
+
+def test_parse_group_by_with_key_expr():
+    comp = parse("[ (k, +/c) | ((i,j),a) <- A, group by k: (i, j) ]")
+    gb = comp.qualifiers[-1]
+    assert isinstance(gb, GroupByQual)
+    assert gb.pattern == VarPat("k")
+    assert gb.key == TupleExpr((Var("i"), Var("j")))
+
+
+def test_parse_group_by_bare_expression():
+    comp = parse("[ (i/N, v) | (i,v) <- L, group by i/N ]")
+    gb = comp.qualifiers[-1]
+    assert isinstance(gb, GroupByQual)
+    assert gb.pattern is None
+    assert gb.key == BinOp("/", Var("i"), Var("N"))
+
+
+def test_parse_wildcard_pattern():
+    comp = parse("[ 1 | (_, v) <- V ]")
+    gen = comp.qualifiers[0]
+    assert isinstance(gen.pattern, TuplePat)
+    assert isinstance(gen.pattern.items[0], WildPat)
+
+
+def test_parse_builder_with_comprehension():
+    expr = parse("matrix(n, m)[ ((i,j), 0) | i <- 0 until n, j <- 0 until m ]")
+    assert isinstance(expr, BuilderApp)
+    assert expr.name == "matrix"
+    assert len(expr.args) == 2
+    assert isinstance(expr.source, Comprehension)
+
+
+def test_parse_builder_without_args():
+    expr = parse("rdd[ (i, v) | (i,v) <- L ]")
+    assert isinstance(expr, BuilderApp)
+    assert expr.name == "rdd"
+    assert expr.args == ()
+
+
+def test_parse_builder_second_arg_group():
+    expr = parse("vector(N)(w)")
+    assert expr == BuilderApp("vector", (Var("N"),), Var("w"))
+
+
+def test_bracket_disambiguation():
+    # index (no |) vs builder comprehension (with |)
+    assert isinstance(parse("A[i, j]"), Index)
+    assert isinstance(parse("A[ v | (i,v) <- V ]"), BuilderApp)
+
+
+def test_parse_nested_comprehension():
+    comp = parse("[ x | p <- [ y | (i,y) <- V ], let x = p ]")
+    inner = comp.qualifiers[0].source
+    assert isinstance(inner, Comprehension)
+
+
+def test_parse_reduction_of_comprehension():
+    expr = parse("&&/[ v <= w | (i,v) <- V, (j,w) <- V, j == i+1 ]")
+    assert isinstance(expr, Reduce)
+    assert expr.monoid == "&&"
+
+
+def test_parse_errors_carry_position():
+    with pytest.raises(SacSyntaxError) as excinfo:
+        parse("[ v | (i,v) <- ]")
+    assert "line 1" in str(excinfo.value)
+
+
+def test_parse_trailing_garbage():
+    with pytest.raises(SacSyntaxError):
+        parse("a + b extra")
+
+
+def test_unterminated_bracket():
+    with pytest.raises(SacSyntaxError):
+        parse("[ v | (i,v) <- V")
+
+
+# ----------------------------------------------------------------------
+# Patterns
+# ----------------------------------------------------------------------
+
+
+def test_parse_pattern_forms():
+    assert parse_pattern("x") == VarPat("x")
+    assert parse_pattern("_") == WildPat()
+    assert parse_pattern("(a, b)") == TuplePat((VarPat("a"), VarPat("b")))
+    assert parse_pattern("((i, j), v)") == TuplePat(
+        (TuplePat((VarPat("i"), VarPat("j"))), VarPat("v"))
+    )
+
+
+def test_parse_pattern_rejects_expression():
+    with pytest.raises(SacSyntaxError):
+        parse_pattern("a + b")
+
+
+# ----------------------------------------------------------------------
+# Round-tripping: to_source(parse(s)) reparses to the same tree
+# ----------------------------------------------------------------------
+
+PAPER_QUERIES = [
+    "[ (i, +/m) | ((i,j),m) <- M, group by i ]",
+    "matrix(n,m)[ ((i,j),a+b) | ((i,j),a) <- M, ((ii,jj),b) <- N, ii == i, jj == j ]",
+    "matrix(n,m)[ ((i,j),a+N[i,j]) | ((i,j),a) <- M ]",
+    "matrix(n,m)[ ((i,j),+/v) | ((i,k),a) <- M, ((kk,j),b) <- N, kk == k,"
+    " let v = a*b, group by (i,j) ]",
+    "matrix(n,m)[ ((ii,jj),(+/a)/a.length) | ((i,j),a) <- M,"
+    " ii <- (i-1) to (i+1), jj <- (j-1) to (j+1),"
+    " ii >= 0, ii < n, jj >= 0, jj < m, group by (ii,jj) ]",
+    "&&/[ v <= w | (i,v) <- V, (j,w) <- V, j == i+1 ]",
+    "tiled(n,m)[ ( ( (i+1)%m, j ), v ) | ((i,j),v) <- X ]",
+    "tiled(n)[ (i,a) | ((i,j),a) <- A, i == j ]",
+    "rdd[ ( i/N, vector(N)(w) ) | (i,v) <- L, let w = ( i%N, v ), group by i/N ]",
+    "tiled(n,m)[ (k, +/c) | ((i,j),a) <- A, ((ii,jj),b) <- B,"
+    " kx(i,j) == ky(ii,jj), let c = h(a,b), group by k: ( gx(i,j), gy(ii,jj) ) ]",
+]
+
+
+@pytest.mark.parametrize("query", PAPER_QUERIES)
+def test_round_trip(query):
+    tree = parse(query)
+    assert parse(to_source(tree)) == tree

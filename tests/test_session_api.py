@@ -1,0 +1,229 @@
+"""Tests for SacSession, SacMatrix/SacVector, and the named operations."""
+
+import numpy as np
+import pytest
+
+from repro import SacSession
+from repro.core import ops
+from repro.engine import TINY_CLUSTER
+
+RNG = np.random.default_rng(77)
+A_NP = RNG.uniform(0, 10, size=(45, 37))
+B_NP = RNG.uniform(0, 10, size=(45, 37))
+C_NP = RNG.uniform(0, 10, size=(37, 26))
+
+
+@pytest.fixture()
+def session():
+    return SacSession(cluster=TINY_CLUSTER, tile_size=16)
+
+
+@pytest.fixture()
+def handles(session):
+    return session.matrix(A_NP), session.matrix(B_NP), session.matrix(C_NP)
+
+
+# ----------------------------------------------------------------------
+# ops module
+# ----------------------------------------------------------------------
+
+
+def test_ops_add_subtract_hadamard(session):
+    A, B = session.tiled(A_NP), session.tiled(B_NP)
+    np.testing.assert_allclose(ops.add(session, A, B).to_numpy(), A_NP + B_NP)
+    np.testing.assert_allclose(ops.subtract(session, A, B).to_numpy(), A_NP - B_NP)
+    np.testing.assert_allclose(ops.hadamard(session, A, B).to_numpy(), A_NP * B_NP)
+
+
+def test_ops_scale_shift_transpose(session):
+    A = session.tiled(A_NP)
+    np.testing.assert_allclose(ops.scale(session, A, 2.5).to_numpy(), 2.5 * A_NP)
+    np.testing.assert_allclose(ops.shift(session, A, 1.0).to_numpy(), A_NP + 1.0)
+    np.testing.assert_allclose(ops.transpose(session, A).to_numpy(), A_NP.T)
+
+
+def test_ops_multiplies(session):
+    A, C = session.tiled(A_NP), session.tiled(C_NP)
+    B = session.tiled(B_NP)
+    np.testing.assert_allclose(ops.multiply(session, A, C).to_numpy(), A_NP @ C_NP)
+    np.testing.assert_allclose(ops.multiply_nt(session, A, B).to_numpy(), A_NP @ B_NP.T)
+    np.testing.assert_allclose(ops.multiply_tn(session, A, B).to_numpy(), A_NP.T @ B_NP)
+
+
+def test_ops_reductions(session):
+    A = session.tiled(A_NP)
+    np.testing.assert_allclose(ops.row_sums(session, A).to_numpy(), A_NP.sum(axis=1))
+    np.testing.assert_allclose(ops.col_sums(session, A).to_numpy(), A_NP.sum(axis=0))
+    np.testing.assert_allclose(ops.row_max(session, A).to_numpy(), A_NP.max(axis=1))
+    assert np.isclose(ops.total_sum(session, A), A_NP.sum())
+    assert np.isclose(ops.frobenius_norm_sq(session, A), (A_NP ** 2).sum())
+
+
+def test_ops_diagonal_trace(session):
+    sq = A_NP[:37, :37]
+    A = session.tiled(sq)
+    np.testing.assert_allclose(ops.diagonal(session, A).to_numpy(), np.diag(sq))
+    assert np.isclose(ops.trace(session, A), np.trace(sq))
+
+
+def test_ops_rotate_and_slice(session):
+    A = session.tiled(A_NP)
+    np.testing.assert_allclose(
+        ops.rotate_rows(session, A).to_numpy(), np.roll(A_NP, 1, axis=0)
+    )
+    np.testing.assert_allclose(
+        ops.slice_rows(session, A, 5, 20).to_numpy(), A_NP[5:20]
+    )
+
+
+def test_ops_vectors(session):
+    u_np, v_np = RNG.normal(size=20), RNG.normal(size=20)
+    u, v = session.tiled_vector(u_np), session.tiled_vector(v_np)
+    assert np.isclose(ops.inner(session, u, v), u_np @ v_np)
+    np.testing.assert_allclose(
+        ops.outer(session, u, v).to_numpy(), np.outer(u_np, v_np)
+    )
+    A = session.tiled(A_NP)
+    x = session.tiled_vector(RNG.normal(size=37))
+    np.testing.assert_allclose(
+        ops.matvec(session, A, x).to_numpy(), A_NP @ x.to_numpy()
+    )
+
+
+def test_ops_smooth_matches_definition(session):
+    a = RNG.uniform(0, 10, size=(6, 7))
+    A = session.tiled(a)
+    result = ops.smooth(session, A).to_numpy()
+    # Interior cell: mean of its 3x3 neighbourhood.
+    assert np.isclose(result[2, 3], a[1:4, 2:5].mean())
+    # Corner: mean of the available 2x2 neighbourhood.
+    assert np.isclose(result[0, 0], a[0:2, 0:2].mean())
+
+
+def test_ops_shape_validation(session):
+    A = session.tiled(A_NP)
+    C = session.tiled(C_NP)
+    with pytest.raises(ValueError):
+        ops.add(session, A, C)
+    with pytest.raises(ValueError):
+        ops.multiply(session, A, A)
+    with pytest.raises(ValueError):
+        ops.slice_rows(session, A, 30, 10)
+
+
+# ----------------------------------------------------------------------
+# SacMatrix / SacVector operators
+# ----------------------------------------------------------------------
+
+
+def test_operator_expressions(handles):
+    A, B, C = handles
+    np.testing.assert_allclose((A + B).to_numpy(), A_NP + B_NP)
+    np.testing.assert_allclose((A - B).to_numpy(), A_NP - B_NP)
+    np.testing.assert_allclose((A * B).to_numpy(), A_NP * B_NP)
+    np.testing.assert_allclose((A * 3.0).to_numpy(), 3 * A_NP)
+    np.testing.assert_allclose((2.0 * A).to_numpy(), 2 * A_NP)
+    np.testing.assert_allclose((A + 1.0).to_numpy(), A_NP + 1)
+    np.testing.assert_allclose((-A).to_numpy(), -A_NP)
+    np.testing.assert_allclose((A @ C).to_numpy(), A_NP @ C_NP)
+    np.testing.assert_allclose(A.T.to_numpy(), A_NP.T)
+
+
+def test_composed_expression(handles):
+    A, B, _ = handles
+    result = ((A + B) * 0.5).T
+    np.testing.assert_allclose(result.to_numpy(), ((A_NP + B_NP) * 0.5).T)
+
+
+def test_matrix_methods(handles):
+    A, B, _ = handles
+    np.testing.assert_allclose(A.row_sums().to_numpy(), A_NP.sum(axis=1))
+    np.testing.assert_allclose(A.col_sums().to_numpy(), A_NP.sum(axis=0))
+    assert np.isclose(A.sum(), A_NP.sum())
+    assert np.isclose(A.frobenius_norm(), np.linalg.norm(A_NP))
+    np.testing.assert_allclose(
+        A.matmul_nt(B).to_numpy(), A_NP @ B_NP.T
+    )
+    np.testing.assert_allclose(
+        A.matmul_tn(B).to_numpy(), A_NP.T @ B_NP
+    )
+    assert A.shape == (45, 37)
+
+
+def test_matvec_operator(session):
+    A = session.matrix(A_NP)
+    x_np = RNG.normal(size=37)
+    x = session.vector(x_np)
+    np.testing.assert_allclose((A @ x).to_numpy(), A_NP @ x_np)
+
+
+def test_vector_methods(session):
+    u = session.vector(np.array([1.0, 2.0, 3.0]))
+    v = session.vector(np.array([2.0, 2.0, 2.0]))
+    assert np.isclose(u.dot(v), 12.0)
+    assert u.is_sorted()
+    assert not session.vector(np.array([3.0, 1.0])).is_sorted()
+    assert np.isclose(u.sum(), 6.0)
+    np.testing.assert_allclose(
+        u.outer(v).to_numpy(), np.outer([1, 2, 3], [2, 2, 2])
+    )
+
+
+def test_cache_returns_self(handles):
+    A, _, _ = handles
+    assert A.cache() is A
+
+
+def test_repr(session, handles):
+    A, _, _ = handles
+    assert "SacMatrix" in repr(A)
+    assert "SacVector" in repr(session.vector(np.zeros(3)))
+
+
+# ----------------------------------------------------------------------
+# Session plumbing
+# ----------------------------------------------------------------------
+
+
+def test_session_env_dict_and_kwargs(session):
+    V = session.tiled_vector(np.array([1.0, 2.0]))
+    assert session.run("+/[ v | (i,v) <- V ]", {"V": V}) == 3.0
+    assert session.run("+/[ v | (i,v) <- V ]", V=V) == 3.0
+
+
+def test_interpret_matches_run(session):
+    A = session.tiled(A_NP[:10, :10])
+    query = "tiled_vector(n)[ (i, +/m) | ((i,j),m) <- A, group by i ]"
+    fast = session.run(query, A=A, n=10).to_numpy()
+    slow = session.interpret(query, A=A, n=10).to_numpy()
+    np.testing.assert_allclose(fast, slow)
+
+
+def test_simulated_time_accumulates(session):
+    A, B = session.tiled(A_NP), session.tiled(B_NP)
+    before = session.simulated_time()
+    ops.add(session, A, B).to_numpy()
+    assert session.simulated_time() > before
+
+
+def test_sessions_are_isolated():
+    s1 = SacSession(cluster=TINY_CLUSTER, tile_size=8)
+    s2 = SacSession(cluster=TINY_CLUSTER, tile_size=8)
+    V = s1.tiled_vector(np.ones(4))
+    s1.run("+/[ v | (i,v) <- V ]", V=V)
+    assert s2.engine.metrics.total.tasks == 0
+
+
+def test_parse_cache_reuses_ast(session):
+    query = "+/[ v | (i,v) <- V ]"
+    V = session.tiled_vector(np.ones(4))
+    session.run(query, V=V)
+    first = session._parse_cache[query]
+    session.run(query, V=V)
+    assert session._parse_cache[query] is first
+
+
+def test_parse_cache_does_not_leak_between_queries(session):
+    V = session.tiled_vector(np.arange(4.0))
+    assert session.run("+/[ v | (i,v) <- V ]", V=V) == 6.0
+    assert session.run("max/[ v | (i,v) <- V ]", V=V) == 3.0
