@@ -6,17 +6,33 @@ seconds from the engine's cost model, and measured shuffle volume.  At
 the end of the session the rows are printed as one table per experiment,
 with the speedup ratios the paper reports alongside the paper's expected
 shape, so the output can be compared to Figure 4 directly.
+
+Setting ``REPRO_BENCH_DUMP=<path>`` additionally writes every recorded
+measurement (including the exact shuffle/stage/task counters) as JSON,
+so counter regressions across engine changes can be diffed exactly.
+
+On a multi-core host the benchmarks default to the threaded task runner
+(``REPRO_RUNNER=threads``) so stages genuinely overlap; on one core
+threads only add overhead, so the serial runner stays the default.
+Either way the recorded counters and simulated times are identical —
+only wall-clock changes.  Export ``REPRO_RUNNER`` explicitly to
+override.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, field
 
 import pytest
 
 from repro.engine import BENCH_CLUSTER
+
+if (os.cpu_count() or 1) > 1:
+    os.environ.setdefault("REPRO_RUNNER", "threads")
 
 
 @dataclass
@@ -27,6 +43,7 @@ class Row:
     wall_seconds: float
     sim_seconds: float
     shuffle_mb: float
+    counters: dict = field(default_factory=dict)
 
 
 _ROWS: list[Row] = []
@@ -74,10 +91,11 @@ PAPER_EXPECTATIONS = {
 
 
 def record(experiment: str, system: str, size: int, wall: float,
-           sim: float, shuffle_bytes: int) -> None:
+           sim: float, shuffle_bytes: int, counters: dict | None = None) -> None:
     """Record one benchmark measurement for the final report."""
     _ROWS.append(
-        Row(experiment, system, size, wall, sim, shuffle_bytes / 1e6)
+        Row(experiment, system, size, wall, sim, shuffle_bytes / 1e6,
+            counters or {})
     )
 
 
@@ -97,13 +115,28 @@ def run_measured(engine, fn, repeats: int = 5):
         delta = engine.metrics.delta_since(snapshot)
         sim = delta.simulated_time(BENCH_CLUSTER)
         if best is None or sim < best[1]:
-            best = (wall, sim, delta.shuffle_bytes)
+            counters = {
+                "stages": delta.stages,
+                "tasks": delta.tasks,
+                "shuffles": delta.shuffles,
+                "shuffle_records": delta.shuffle_records,
+                "shuffle_bytes": delta.shuffle_bytes,
+                "cache_hits": delta.cache_hits,
+                "cache_misses": delta.cache_misses,
+                "cache_evicted_bytes": delta.cache_evicted_bytes,
+                "shuffle_reuses": delta.shuffle_reuses,
+            }
+            best = (wall, sim, delta.shuffle_bytes, counters)
     return best
 
 
 def pytest_sessionfinish(session, exitstatus):
     if not _ROWS:
         return
+    dump_path = os.environ.get("REPRO_BENCH_DUMP")
+    if dump_path:
+        with open(dump_path, "w") as fh:
+            json.dump([asdict(row) for row in _ROWS], fh, indent=1, sort_keys=True)
     by_experiment: dict[str, list[Row]] = defaultdict(list)
     for row in _ROWS:
         by_experiment[row.experiment].append(row)
@@ -137,6 +170,7 @@ def pytest_sessionfinish(session, exitstatus):
                     )
             print(line)
         _print_ratios(rows, systems, sizes)
+        _print_cache_counters(rows)
         expectation = PAPER_EXPECTATIONS.get(experiment)
         if expectation:
             print(f"  paper: {expectation}")
@@ -165,6 +199,19 @@ def _print_ratios(rows, systems, sizes):
                 f"  simulated speedup of {other} over {baseline}: "
                 f"min {min(ratios):.2f}x, max {max(ratios):.2f}x"
             )
+
+
+def _print_cache_counters(rows):
+    """Block-manager activity for one experiment, when there was any."""
+    hits = sum(r.counters.get("cache_hits", 0) for r in rows)
+    misses = sum(r.counters.get("cache_misses", 0) for r in rows)
+    evicted = sum(r.counters.get("cache_evicted_bytes", 0) for r in rows)
+    reuses = sum(r.counters.get("shuffle_reuses", 0) for r in rows)
+    if hits or misses or evicted or reuses:
+        print(
+            f"  block manager: {hits} cache hits, {misses} misses, "
+            f"{evicted / 1e6:.1f}MB evicted, {reuses} shuffle reuses"
+        )
 
 
 @pytest.fixture()

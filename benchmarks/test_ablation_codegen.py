@@ -45,8 +45,8 @@ def test_local_codegen(benchmark, measure, n):
         compiled.execute()
 
     benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
-    wall, sim, shuffled = run_measured(session.engine, run)
-    record("ablation-codegen", "generated loop code", n, wall, wall, shuffled)
+    wall, sim, shuffled, counters = run_measured(session.engine, run)
+    record("ablation-codegen", "generated loop code", n, wall, wall, shuffled, counters)
 
 
 @pytest.mark.parametrize("n", SIZES)
@@ -59,8 +59,8 @@ def test_local_interpreter(benchmark, measure, n):
         session.interpret(MULTIPLY, A=a, B=b, n=n, m=n)
 
     benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
-    wall, sim, shuffled = run_measured(session.engine, run)
-    record("ablation-codegen", "reference interpreter", n, wall, wall, shuffled)
+    wall, sim, shuffled, counters = run_measured(session.engine, run)
+    record("ablation-codegen", "reference interpreter", n, wall, wall, shuffled, counters)
 
 
 def test_codegen_and_interpreter_agree():

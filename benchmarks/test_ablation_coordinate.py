@@ -46,8 +46,8 @@ def test_multiply_tiled(benchmark, measure, n):
         session.run(MULTIPLY, A=A, B=B, n=n, m=n).tiles.count()
 
     benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
-    wall, sim, shuffled = run_measured(session.engine, run)
-    record("ablation-coordinate", "tiled (block arrays)", n, wall, sim, shuffled)
+    wall, sim, shuffled, counters = run_measured(session.engine, run)
+    record("ablation-coordinate", "tiled (block arrays)", n, wall, sim, shuffled, counters)
 
 
 @pytest.mark.parametrize("n", SIZES)
@@ -59,8 +59,8 @@ def test_multiply_coordinate(benchmark, measure, n):
         session.run(MULTIPLY, A=A, B=B, n=n, m=n).tiles.count()
 
     benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
-    wall, sim, shuffled = run_measured(session.engine, run)
-    record("ablation-coordinate", "coordinate (Rules 13/14)", n, wall, sim, shuffled)
+    wall, sim, shuffled, counters = run_measured(session.engine, run)
+    record("ablation-coordinate", "coordinate (Rules 13/14)", n, wall, sim, shuffled, counters)
 
 
 def test_coordinate_and_tiled_agree():

@@ -37,8 +37,8 @@ def test_rowsum_reduce_by_key(benchmark, measure, n):
         ).count()
 
     benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
-    wall, sim, shuffled = run_measured(engine, run)
-    record("ablation-reducebykey", "reduceByKey (Rule 13)", n, wall, sim, shuffled)
+    wall, sim, shuffled, counters = run_measured(engine, run)
+    record("ablation-reducebykey", "reduceByKey (Rule 13)", n, wall, sim, shuffled, counters)
 
 
 @pytest.mark.parametrize("n", SIZES)
@@ -54,8 +54,8 @@ def test_rowsum_group_by_key(benchmark, measure, n):
         ).count()
 
     benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
-    wall, sim, shuffled = run_measured(engine, run)
-    record("ablation-reducebykey", "groupByKey", n, wall, sim, shuffled)
+    wall, sim, shuffled, counters = run_measured(engine, run)
+    record("ablation-reducebykey", "groupByKey", n, wall, sim, shuffled, counters)
 
 
 def test_both_strategies_agree():

@@ -54,8 +54,8 @@ def test_multiply_dense_tiles(benchmark, measure, n):
         session.run(MULTIPLY, A=A, B=B, n=n, m=n).tiles.count()
 
     benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
-    wall, sim, shuffled = run_measured(session.engine, run)
-    record("ablation-sparse", "dense tiles", n, wall, sim, shuffled)
+    wall, sim, shuffled, counters = run_measured(session.engine, run)
+    record("ablation-sparse", "dense tiles", n, wall, sim, shuffled, counters)
 
 
 @pytest.mark.parametrize("n", SIZES)
@@ -71,8 +71,8 @@ def test_multiply_sparse_tiles(benchmark, measure, n):
         session.run(MULTIPLY, A=A, B=B, n=n, m=n).tiles.count()
 
     benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
-    wall, sim, shuffled = run_measured(session.engine, run)
-    record("ablation-sparse", "CSC tiles (block-sparse)", n, wall, sim, shuffled)
+    wall, sim, shuffled, counters = run_measured(session.engine, run)
+    record("ablation-sparse", "CSC tiles (block-sparse)", n, wall, sim, shuffled, counters)
 
 
 def test_sparse_and_dense_agree():

@@ -35,8 +35,8 @@ def test_multiply_tile_size(benchmark, measure, tile):
         session.run(MULTIPLY, A=A, B=B, n=N, m=N).tiles.count()
 
     benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
-    wall, sim, shuffled = run_measured(session.engine, run)
-    record("ablation-tilesize", f"GBJ multiply {N}x{N}", tile, wall, sim, shuffled)
+    wall, sim, shuffled, counters = run_measured(session.engine, run)
+    record("ablation-tilesize", f"GBJ multiply {N}x{N}", tile, wall, sim, shuffled, counters)
 
 
 def test_all_tile_sizes_agree():

@@ -36,8 +36,8 @@ def test_addition_sac(benchmark, measure, n):
         ops.add(session, A, B).tiles.count()
 
     benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
-    wall, sim, shuffled = run_measured(session.engine, run)
-    record("fig4a-addition", "SAC (preserve-tiling)", n, wall, sim, shuffled)
+    wall, sim, shuffled, counters = run_measured(session.engine, run)
+    record("fig4a-addition", "SAC (preserve-tiling)", n, wall, sim, shuffled, counters)
 
 
 @pytest.mark.parametrize("n", SIZES)
@@ -54,8 +54,8 @@ def test_addition_mllib(benchmark, measure, n):
         A.add(B).blocks.count()
 
     benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
-    wall, sim, shuffled = run_measured(engine, run)
-    record("fig4a-addition", "MLlib BlockMatrix", n, wall, sim, shuffled)
+    wall, sim, shuffled, counters = run_measured(engine, run)
+    record("fig4a-addition", "MLlib BlockMatrix", n, wall, sim, shuffled, counters)
 
 
 def test_addition_results_agree():

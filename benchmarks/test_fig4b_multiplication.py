@@ -59,8 +59,8 @@ def test_multiplication_sac_gbj(benchmark, measure, n):
         session.run(MULTIPLY, A=A, B=B, n=n, m=n).tiles.count()
 
     benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
-    wall, sim, shuffled = run_measured(session.engine, run)
-    record("fig4b-multiplication", "SAC GBJ (5.4)", n, wall, sim, shuffled)
+    wall, sim, shuffled, counters = run_measured(session.engine, run)
+    record("fig4b-multiplication", "SAC GBJ (5.4)", n, wall, sim, shuffled, counters)
 
 
 @pytest.mark.parametrize("n", SIZES)
@@ -72,8 +72,8 @@ def test_multiplication_sac_join_groupby(benchmark, measure, n):
         session.run(MULTIPLY, A=A, B=B, n=n, m=n).tiles.count()
 
     benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
-    wall, sim, shuffled = run_measured(session.engine, run)
-    record("fig4b-multiplication", "SAC join+group-by (5.3)", n, wall, sim, shuffled)
+    wall, sim, shuffled, counters = run_measured(session.engine, run)
+    record("fig4b-multiplication", "SAC join+group-by (5.3)", n, wall, sim, shuffled, counters)
 
 
 @pytest.mark.parametrize("n", SIZES)
@@ -90,8 +90,8 @@ def test_multiplication_mllib(benchmark, measure, n):
         A.multiply(B).blocks.count()
 
     benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
-    wall, sim, shuffled = run_measured(engine, run)
-    record("fig4b-multiplication", "MLlib BlockMatrix", n, wall, sim, shuffled)
+    wall, sim, shuffled, counters = run_measured(engine, run)
+    record("fig4b-multiplication", "MLlib BlockMatrix", n, wall, sim, shuffled, counters)
 
 
 def test_multiplication_results_agree():

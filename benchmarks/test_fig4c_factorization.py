@@ -46,8 +46,8 @@ def test_factorization_sac(benchmark, measure, n):
         sac_factorization_step(session, r, p, q)
 
     benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
-    wall, sim, shuffled = run_measured(session.engine, run)
-    record("fig4c-factorization", "SAC (GBJ)", n, wall, sim, shuffled)
+    wall, sim, shuffled, counters = run_measured(session.engine, run)
+    record("fig4c-factorization", "SAC (GBJ)", n, wall, sim, shuffled, counters)
 
 
 @pytest.mark.parametrize("n", SIZES)
@@ -67,8 +67,8 @@ def test_factorization_mllib(benchmark, measure, n):
         q_new.blocks.count()
 
     benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
-    wall, sim, shuffled = run_measured(engine, run)
-    record("fig4c-factorization", "MLlib BlockMatrix", n, wall, sim, shuffled)
+    wall, sim, shuffled, counters = run_measured(engine, run)
+    record("fig4c-factorization", "MLlib BlockMatrix", n, wall, sim, shuffled, counters)
 
 
 def test_factorization_results_agree():

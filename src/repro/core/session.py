@@ -61,6 +61,11 @@ class SacSession:
         tile_size: side length N of square tiles for block arrays.
         options: planner rule switches (ablations).
         num_partitions: partition hint for builders.
+        runner: task execution strategy for a fresh engine — a
+            ``TaskRunner``, ``"serial"``, or ``"threads"``; ``None``
+            consults the ``REPRO_RUNNER`` environment variable.
+        memory_budget: cached-partition byte cap for a fresh engine's
+            block manager (``None`` = unbounded).
     """
 
     def __init__(
@@ -70,8 +75,12 @@ class SacSession:
         tile_size: int = 100,
         options: Optional[PlannerOptions] = None,
         num_partitions: Optional[int] = None,
+        runner: Any = None,
+        memory_budget: Optional[int] = None,
     ):
-        self.engine = engine or EngineContext(cluster=cluster)
+        self.engine = engine or EngineContext(
+            cluster=cluster, runner=runner, memory_budget=memory_budget
+        )
         self.tile_size = tile_size
         self.options = options or PlannerOptions()
         self.build_context = BuildContext(
@@ -190,6 +199,16 @@ class SacSession:
         return SacVector(self, self.tiled_vector(array))
 
     # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the engine's executor pool."""
+        self.engine.close()
+
+    def __enter__(self) -> "SacSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def metrics_snapshot(self):
         return self.engine.metrics.snapshot()

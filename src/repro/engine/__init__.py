@@ -9,17 +9,25 @@ model that converts measured work into simulated time on a configurable
 cluster.
 """
 
+from .block_manager import BlockManager
 from .cluster import BENCH_CLUSTER, PAPER_CLUSTER, TINY_CLUSTER, ClusterSpec
 from .context import Accumulator, Broadcast, EngineContext
 from .metrics import JobMetrics, MetricsRegistry
 from .partitioner import GridPartitioner, HashPartitioner, Partitioner, portable_hash
 from .rdd import RDD
-from .scheduler import SerialTaskRunner, ThreadedTaskRunner
+from .scheduler import (
+    SerialTaskRunner,
+    TaskRunner,
+    ThreadedTaskRunner,
+    resolve_runner,
+)
+from .serialization import RecordSizeAccountant
 from .shuffle import Aggregator, ShuffleManager
 
 __all__ = [
     "Accumulator",
     "Aggregator",
+    "BlockManager",
     "Broadcast",
     "BENCH_CLUSTER",
     "ClusterSpec",
@@ -31,9 +39,12 @@ __all__ = [
     "PAPER_CLUSTER",
     "Partitioner",
     "RDD",
+    "RecordSizeAccountant",
     "SerialTaskRunner",
     "ShuffleManager",
+    "TaskRunner",
     "ThreadedTaskRunner",
     "TINY_CLUSTER",
     "portable_hash",
+    "resolve_runner",
 ]

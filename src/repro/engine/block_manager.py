@@ -1,0 +1,249 @@
+"""Byte-accounted storage for cached partitions and shuffle outputs.
+
+Spark's executors keep cached partitions in a memory-bounded block store
+and shuffle map outputs in files that later stages — of *any* job — can
+re-read.  This module is the engine's in-process analog:
+
+* **Partition blocks** (``RDD.cache``): each cached partition is stored
+  with its estimated serialized size (via the same accountant that
+  prices shuffles, so cached bytes and shuffled bytes are comparable).
+  When a ``memory_budget`` is configured, least-recently-used blocks are
+  evicted until the store fits; an evicted partition is transparently
+  recomputed on next access.  Hits, misses, and evicted bytes are
+  reported through :class:`~repro.engine.metrics.MetricsRegistry`.
+
+* **Shuffle outputs** (opt-in, ``reuse_shuffles=True``): a finished
+  shuffle registers its reduce-side output under ``(parent RDD id,
+  partitioner, aggregator)``.  A later shuffle of the *same* parent
+  through an equal partitioner (aggregator matched by identity; plain
+  re-partitions match each other) reuses the retained output instead of
+  moving the data again — Spark's shuffle files surviving across jobs.
+  The registry keeps the most recent :data:`SHUFFLE_REGISTRY_LIMIT`
+  outputs; dropping an entry only forgets the reuse opportunity (the
+  owning RDD keeps its own reference), so the bound is safe.  Reuse is
+  off by default because it changes shuffle accounting: a reused
+  shuffle records no stage, no tasks, and no bytes — correct for the
+  cluster being simulated, but not comparable against runs without it.
+
+All operations are thread-safe: with a parallel runner, cache reads and
+writes arrive concurrently from pool workers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from .metrics import MetricsRegistry
+from .partitioner import Partitioner
+from .serialization import RecordSizeAccountant
+from .shuffle import Aggregator
+
+#: Retained shuffle outputs per context; oldest entries are forgotten.
+SHUFFLE_REGISTRY_LIMIT = 32
+
+
+@dataclass
+class _Block:
+    records: list
+    nbytes: int
+
+
+@dataclass
+class _ShuffleEntry:
+    partitioner: Partitioner
+    aggregator: Optional[Aggregator]
+    output: list[list[tuple[Any, Any]]]
+
+
+class BlockManager:
+    """LRU, byte-accounted store for cached partitions + shuffle outputs.
+
+    Args:
+        metrics: registry receiving hit/miss/eviction counters.
+        memory_budget: cap on total cached-partition bytes; ``None``
+            (default) stores everything, matching the historical
+            unbounded cache.
+        reuse_shuffles: retain shuffle outputs and serve later equal
+            shuffles from them (off by default — reuse skips the
+            repeated shuffle's stage/byte accounting).
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        memory_budget: Optional[int] = None,
+        reuse_shuffles: bool = False,
+    ):
+        if memory_budget is not None and memory_budget < 0:
+            raise ValueError(
+                f"memory_budget must be non-negative, got {memory_budget}"
+            )
+        self._metrics = metrics
+        self._budget = memory_budget
+        self._reuse_shuffles = reuse_shuffles
+        self._blocks: "OrderedDict[tuple[int, int], _Block]" = OrderedDict()
+        self._bytes = 0
+        self._accountant = RecordSizeAccountant()
+        self._shuffles: "OrderedDict[int, list[_ShuffleEntry]]" = OrderedDict()
+        self._num_shuffle_entries = 0
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Partition blocks
+    # ------------------------------------------------------------------
+
+    @property
+    def memory_budget(self) -> Optional[int]:
+        return self._budget
+
+    @property
+    def cached_bytes(self) -> int:
+        """Estimated bytes currently held for cached partitions."""
+        with self._lock:
+            return self._bytes
+
+    @property
+    def num_blocks(self) -> int:
+        with self._lock:
+            return len(self._blocks)
+
+    def get(self, rdd_id: int, split: int) -> Optional[list]:
+        """The cached records of one partition, or ``None`` (miss)."""
+        key = (rdd_id, split)
+        with self._lock:
+            block = self._blocks.get(key)
+            if block is None:
+                self._metrics.record_cache_miss()
+                return None
+            self._blocks.move_to_end(key)
+            self._metrics.record_cache_hit()
+            return block.records
+
+    def put(self, rdd_id: int, split: int, records: list) -> bool:
+        """Store one computed partition; returns whether it was kept.
+
+        A partition larger than the whole budget is not stored at all
+        (evicting everything else for it would thrash); the caller just
+        keeps its computed list for the current read.
+        """
+        nbytes = self._accountant.batch_size(records)
+        key = (rdd_id, split)
+        with self._lock:
+            if key in self._blocks:
+                # A racing worker computed the same split; keep the first
+                # copy so concurrent readers share one list.
+                return True
+            if self._budget is not None and nbytes > self._budget:
+                return False
+            self._blocks[key] = _Block(records, nbytes)
+            self._bytes += nbytes
+            self._evict_to_budget(protect=key)
+            return True
+
+    def _evict_to_budget(self, protect: tuple[int, int]) -> None:
+        if self._budget is None:
+            return
+        while self._bytes > self._budget:
+            victim = next(
+                (key for key in self._blocks if key != protect), None
+            )
+            if victim is None:
+                return
+            block = self._blocks.pop(victim)
+            self._bytes -= block.nbytes
+            self._metrics.record_cache_eviction(block.nbytes)
+
+    def contains(self, rdd_id: int, split: int) -> bool:
+        with self._lock:
+            return (rdd_id, split) in self._blocks
+
+    def contains_all(self, rdd_id: int, num_splits: int) -> bool:
+        """Whether every partition of an RDD is currently cached."""
+        with self._lock:
+            return all(
+                (rdd_id, split) in self._blocks for split in range(num_splits)
+            )
+
+    def remove_rdd(self, rdd_id: int) -> int:
+        """Drop all blocks of one RDD (``unpersist``); returns bytes freed.
+
+        An explicit unpersist is not memory pressure, so the freed bytes
+        are *not* counted as evictions.
+        """
+        with self._lock:
+            victims = [key for key in self._blocks if key[0] == rdd_id]
+            freed = 0
+            for key in victims:
+                freed += self._blocks.pop(key).nbytes
+            self._bytes -= freed
+            return freed
+
+    # ------------------------------------------------------------------
+    # Shuffle output reuse
+    # ------------------------------------------------------------------
+
+    def lookup_shuffle(
+        self,
+        parent_id: int,
+        partitioner: Partitioner,
+        aggregator: Optional[Aggregator],
+    ) -> Optional[list[list[tuple[Any, Any]]]]:
+        """A retained equal shuffle's output, or ``None``.
+
+        Equality means: same map-side parent, equal partitioner, and the
+        *same* aggregator object (combining functions cannot be compared
+        structurally) — or no aggregator on either side, which makes all
+        plain re-partitions of a parent interchangeable.
+        """
+        if not self._reuse_shuffles:
+            return None
+        with self._lock:
+            for entry in self._shuffles.get(parent_id, ()):
+                if entry.aggregator is aggregator and entry.partitioner == partitioner:
+                    self._metrics.record_shuffle_reuse()
+                    return entry.output
+            return None
+
+    def register_shuffle(
+        self,
+        parent_id: int,
+        partitioner: Partitioner,
+        aggregator: Optional[Aggregator],
+        output: list[list[tuple[Any, Any]]],
+    ) -> None:
+        """Retain a finished shuffle's output for later equal shuffles."""
+        if not self._reuse_shuffles:
+            return
+        with self._lock:
+            self._shuffles.setdefault(parent_id, []).append(
+                _ShuffleEntry(partitioner, aggregator, output)
+            )
+            self._num_shuffle_entries += 1
+            while self._num_shuffle_entries > SHUFFLE_REGISTRY_LIMIT:
+                oldest_parent = next(iter(self._shuffles))
+                entries = self._shuffles[oldest_parent]
+                entries.pop(0)
+                if not entries:
+                    del self._shuffles[oldest_parent]
+                self._num_shuffle_entries -= 1
+
+    # ------------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Forget everything (blocks and retained shuffle outputs)."""
+        with self._lock:
+            self._blocks.clear()
+            self._bytes = 0
+            self._shuffles.clear()
+            self._num_shuffle_entries = 0
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"BlockManager(blocks={len(self._blocks)}, "
+                f"bytes={self._bytes}, budget={self._budget}, "
+                f"shuffles={self._num_shuffle_entries})"
+            )

@@ -66,6 +66,18 @@ class ClusterSpec:
         """Default number of partitions for new RDDs (as in Spark)."""
         return self.total_cores
 
+    def local_parallelism(self) -> int:
+        """Worker threads a local executor should run for this spec.
+
+        The simulated cluster has :attr:`total_cores` task slots, but
+        the engine executes on this machine, so a local thread pool
+        larger than the machine's cores only adds contention: use the
+        smaller of the two.
+        """
+        import os
+
+        return max(1, min(self.total_cores, os.cpu_count() or 1))
+
 
 #: The cluster used in the paper's evaluation (Section 6).
 PAPER_CLUSTER = ClusterSpec()

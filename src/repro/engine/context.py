@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+import os
+import threading
 from typing import Any, Callable, Generic, Iterable, Iterator, Optional, TypeVar
 
+from .block_manager import BlockManager
 from .cluster import PAPER_CLUSTER, ClusterSpec
 from .metrics import MetricsRegistry
 from .rdd import RDD, ParallelCollectionRDD
-from .scheduler import DAGScheduler, TaskRunner
+from .scheduler import DAGScheduler, TaskRunner, resolve_runner
 from .shuffle import ShuffleManager
 
 T = TypeVar("T")
@@ -30,14 +33,21 @@ class Broadcast(Generic[T]):
 
 
 class Accumulator:
-    """A write-only counter tasks add to and the driver reads."""
+    """A write-only counter tasks add to and the driver reads.
+
+    ``add`` is atomic: with a parallel task runner, tasks on different
+    worker threads add concurrently, and an unlocked read-modify-write
+    would lose updates.
+    """
 
     def __init__(self, initial: Any, add: Callable[[Any, Any], Any] = lambda a, b: a + b):
         self._value = initial
         self._add = add
+        self._lock = threading.Lock()
 
     def add(self, amount: Any) -> None:
-        self._value = self._add(self._value, amount)
+        with self._lock:
+            self._value = self._add(self._value, amount)
 
     @property
     def value(self) -> Any:
@@ -52,20 +62,38 @@ class EngineContext:
         ctx = EngineContext()
         rdd = ctx.parallelize(range(100), num_partitions=8)
         total = rdd.map(lambda x: x * x).sum()
+
+    One :class:`~repro.engine.scheduler.TaskRunner` — resolved from the
+    ``runner`` argument or the ``REPRO_RUNNER`` environment variable and
+    sized from the cluster spec — is shared by the scheduler's result
+    stages, the shuffle manager's map/reduce tasks, and cogroup merges,
+    so a threaded context keeps one persistent executor pool for its
+    lifetime (``close()`` or a ``with`` block shuts it down).
     """
 
     def __init__(
         self,
         cluster: ClusterSpec = PAPER_CLUSTER,
-        runner: Optional[TaskRunner] = None,
+        runner: Optional[TaskRunner | str] = None,
         default_parallelism: Optional[int] = None,
+        memory_budget: Optional[int] = None,
+        reuse_shuffles: Optional[bool] = None,
     ):
         self.cluster = cluster
         self.metrics = MetricsRegistry()
-        self.shuffle_manager = ShuffleManager(self.metrics)
-        self.scheduler = DAGScheduler(self.metrics, runner)
+        self.runner = resolve_runner(runner, cluster)
+        if reuse_shuffles is None:
+            reuse_shuffles = os.environ.get(
+                "REPRO_SHUFFLE_REUSE", ""
+            ).lower() in ("1", "true", "yes")
+        self.block_manager = BlockManager(
+            self.metrics, memory_budget, reuse_shuffles=reuse_shuffles
+        )
+        self.shuffle_manager = ShuffleManager(self.metrics, self.runner)
+        self.scheduler = DAGScheduler(self.metrics, self.runner)
         self._default_parallelism = default_parallelism or cluster.default_parallelism()
         self._rdd_counter = 0
+        self._rdd_counter_lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
@@ -74,8 +102,21 @@ class EngineContext:
         return self._default_parallelism
 
     def _register_rdd(self) -> int:
-        self._rdd_counter += 1
-        return self._rdd_counter
+        with self._rdd_counter_lock:
+            self._rdd_counter += 1
+            return self._rdd_counter
+
+    def close(self) -> None:
+        """Release the executor pool (idempotent; context stays usable
+        for serial work — a threaded runner re-spawns its pool lazily if
+        another job runs)."""
+        self.runner.close()
+
+    def __enter__(self) -> "EngineContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
 

@@ -51,6 +51,13 @@ class JobMetrics:
     shuffle_bytes: int = 0
     compute_seconds: float = 0.0
     wall_seconds: float = 0.0
+    #: BlockManager counters: cached-partition reads served from memory,
+    #: reads that had to recompute, bytes dropped by LRU eviction, and
+    #: shuffles answered from a retained equal shuffle's map outputs.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evicted_bytes: int = 0
+    shuffle_reuses: int = 0
     stage_costs: list = field(default_factory=list)
 
     def merge(self, other: "JobMetrics") -> None:
@@ -62,6 +69,10 @@ class JobMetrics:
         self.shuffle_bytes += other.shuffle_bytes
         self.compute_seconds += other.compute_seconds
         self.wall_seconds += other.wall_seconds
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_evicted_bytes += other.cache_evicted_bytes
+        self.shuffle_reuses += other.shuffle_reuses
         self.stage_costs.extend(other.stage_costs)
 
     def simulated_time(self, cluster: ClusterSpec) -> float:
@@ -158,6 +169,11 @@ class MetricsRegistry:
     _active: Optional[JobMetrics] = None
     _next_job_id: int = 0
     _timers: threading.local = field(default_factory=threading.local)
+    #: Serializes counter mutation: with a parallel runner, nested
+    #: materialization can record stages/shuffles from worker threads
+    #: while the driver holds the job open.  Timer stacks stay
+    #: per-thread and unlocked.
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     @property
     def _timer_stack(self) -> list:
@@ -201,10 +217,11 @@ class MetricsRegistry:
         try:
             yield metrics
         finally:
-            metrics.wall_seconds = time.perf_counter() - start
-            self._active = None
-            self.jobs.append(metrics)
-            self.total.merge(metrics)
+            with self._lock:
+                metrics.wall_seconds = time.perf_counter() - start
+                self._active = None
+                self.jobs.append(metrics)
+                self.total.merge(metrics)
 
     @property
     def current(self) -> JobMetrics:
@@ -220,27 +237,53 @@ class MetricsRegistry:
         the times are also accumulated into ``compute_seconds`` and the
         stage's makespan data is kept for the cost model.
         """
-        job = self.current
-        job.stages += 1
-        job.tasks += num_tasks
-        if task_seconds:
-            total = sum(task_seconds)
-            job.compute_seconds += total
-            job.stage_costs.append(
-                StageCost(num_tasks, total, max(task_seconds))
-            )
-        else:
-            job.stage_costs.append(StageCost(num_tasks, 0.0, 0.0))
+        with self._lock:
+            job = self.current
+            job.stages += 1
+            job.tasks += num_tasks
+            if task_seconds:
+                total = sum(task_seconds)
+                job.compute_seconds += total
+                job.stage_costs.append(
+                    StageCost(num_tasks, total, max(task_seconds))
+                )
+            else:
+                job.stage_costs.append(StageCost(num_tasks, 0.0, 0.0))
 
     def record_shuffle(self, records: int, nbytes: int) -> None:
         """Record one shuffle's measured volume."""
-        self.current.shuffles += 1
-        self.current.shuffle_records += records
-        self.current.shuffle_bytes += nbytes
+        with self._lock:
+            job = self.current
+            job.shuffles += 1
+            job.shuffle_records += records
+            job.shuffle_bytes += nbytes
 
     def record_compute(self, seconds: float) -> None:
         """Record wall time spent inside user functions."""
-        self.current.compute_seconds += seconds
+        with self._lock:
+            self.current.compute_seconds += seconds
+
+    # -- BlockManager counters ------------------------------------------
+
+    def record_cache_hit(self) -> None:
+        """A cached partition read was served from memory."""
+        with self._lock:
+            self.current.cache_hits += 1
+
+    def record_cache_miss(self) -> None:
+        """A cached partition read had to (re)compute its partition."""
+        with self._lock:
+            self.current.cache_misses += 1
+
+    def record_cache_eviction(self, nbytes: int) -> None:
+        """The block manager dropped ``nbytes`` of cached data under pressure."""
+        with self._lock:
+            self.current.cache_evicted_bytes += nbytes
+
+    def record_shuffle_reuse(self) -> None:
+        """An equal shuffle's retained map outputs answered a new shuffle."""
+        with self._lock:
+            self.current.shuffle_reuses += 1
 
     def simulated_time(self, cluster: ClusterSpec) -> float:
         """Simulated time of everything recorded so far on ``cluster``."""
@@ -270,5 +313,9 @@ class MetricsRegistry:
         delta.shuffle_bytes -= snapshot.shuffle_bytes
         delta.compute_seconds -= snapshot.compute_seconds
         delta.wall_seconds -= snapshot.wall_seconds
+        delta.cache_hits -= snapshot.cache_hits
+        delta.cache_misses -= snapshot.cache_misses
+        delta.cache_evicted_bytes -= snapshot.cache_evicted_bytes
+        delta.shuffle_reuses -= snapshot.shuffle_reuses
         delta.stage_costs = delta.stage_costs[len(snapshot.stage_costs):]
         return delta

@@ -17,6 +17,7 @@ baseline generate, plus the conveniences a user of the engine would expect.
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Optional, TypeVar
 
 from .partitioner import HashPartitioner, Partitioner
@@ -54,7 +55,6 @@ class RDD:
         #: the network, as in Spark).
         self.partitioner = partitioner
         self._cached = False
-        self._cache_storage: Optional[list[Optional[list]]] = None
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -64,21 +64,50 @@ class RDD:
     def num_partitions(self) -> int:
         return self._num_partitions
 
+    @property
+    def dependencies(self) -> list["RDD"]:
+        """Direct parent RDDs in the lineage graph."""
+        return []
+
     def compute(self, split: int) -> Iterator:
         """Produce the records of partition ``split``."""
         raise NotImplementedError
 
     def iterator(self, split: int) -> Iterator:
-        """Like :meth:`compute` but honouring :meth:`cache`."""
+        """Like :meth:`compute` but honouring :meth:`cache`.
+
+        Cached partitions live in the context's
+        :class:`~repro.engine.block_manager.BlockManager`; a partition
+        evicted under memory pressure is transparently recomputed.
+        """
         if not self._cached:
             return self.compute(split)
-        if self._cache_storage is None:
-            self._cache_storage = [None] * self._num_partitions
-        stored = self._cache_storage[split]
+        blocks = self.ctx.block_manager
+        stored = blocks.get(self.id, split)
         if stored is None:
             stored = list(self.compute(split))
-            self._cache_storage[split] = stored
+            blocks.put(self.id, split, stored)
         return iter(stored)
+
+    def prepare_execution(self, seen: set[int]) -> None:
+        """Materialize wide dependencies bottom-up (driver side).
+
+        Called by the scheduler before fanning a job's result tasks onto
+        a parallel runner, so each shuffle runs its map tasks from the
+        driver thread — where they fan out — instead of inside whichever
+        result task happens to pull first.  Fully cached RDDs stop the
+        walk: their partitions replay from the block manager without
+        touching parents (exactly what lazy evaluation would do).
+        """
+        if id(self) in seen:
+            return
+        seen.add(id(self))
+        if self._cached and self.ctx.block_manager.contains_all(
+            self.id, self._num_partitions
+        ):
+            return
+        for dep in self.dependencies:
+            dep.prepare_execution(seen)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -94,7 +123,7 @@ class RDD:
     def unpersist(self) -> "RDD":
         """Drop cached partitions."""
         self._cached = False
-        self._cache_storage = None
+        self.ctx.block_manager.remove_rdd(self.id)
         return self
 
     # ------------------------------------------------------------------
@@ -774,6 +803,10 @@ class MapPartitionsRDD(RDD):
         self._parent = parent
         self._func = func
 
+    @property
+    def dependencies(self) -> list[RDD]:
+        return [self._parent]
+
     def compute(self, split: int) -> Iterator:
         return iter(self._func(split, self._parent.iterator(split)))
 
@@ -801,40 +834,84 @@ class ShuffledRDD(RDD):
         self._parent = parent
         self._aggregator = aggregator
         self._output: Optional[list[list[tuple[Any, Any]]]] = None
+        self._materialize_lock = threading.Lock()
+
+    @property
+    def dependencies(self) -> list[RDD]:
+        return [self._parent]
+
+    def prepare_execution(self, seen: set[int]) -> None:
+        if id(self) in seen:
+            return
+        seen.add(id(self))
+        if self._output is not None:
+            return
+        if self._cached and self.ctx.block_manager.contains_all(
+            self.id, self._num_partitions
+        ):
+            return
+        self._parent.prepare_execution(seen)
+        self._materialize()
 
     def _materialize(self) -> list[list[tuple[Any, Any]]]:
-        if self._output is None:
-            if self._parent.partitioner == self.partitioner:
-                self._output = self._local_combine()
-            else:
-                map_outputs = (
-                    self._parent.iterator(i)
-                    for i in range(self._parent.num_partitions)
-                )
-                self._output = self.ctx.shuffle_manager.shuffle(
-                    map_outputs, self.partitioner, self._aggregator
-                )
-        return self._output
+        output = self._output
+        if output is None:
+            # Concurrent result tasks race here; one thread runs (and
+            # accounts) the shuffle, the rest reuse its output.
+            with self._materialize_lock:
+                if self._output is None:
+                    self._output = self._run_shuffle()
+                output = self._output
+        return output
+
+    def _run_shuffle(self) -> list[list[tuple[Any, Any]]]:
+        if self._parent.partitioner == self.partitioner:
+            return self._local_combine()
+        blocks = self.ctx.block_manager
+        reused = blocks.lookup_shuffle(
+            self._parent.id, self.partitioner, self._aggregator
+        )
+        if reused is not None:
+            return reused
+        map_outputs = (
+            self._parent.iterator(i)
+            for i in range(self._parent.num_partitions)
+        )
+        output = self.ctx.shuffle_manager.shuffle(
+            map_outputs, self.partitioner, self._aggregator
+        )
+        blocks.register_shuffle(
+            self._parent.id, self.partitioner, self._aggregator, output
+        )
+        return output
 
     def _local_combine(self) -> list[list[tuple[Any, Any]]]:
         """Parent already partitioned correctly: combine in place."""
-        output = []
-        task_seconds = []
-        for split in range(self._parent.num_partitions):
-            with self.ctx.metrics.task_timer() as timer:
-                records = self._parent.iterator(split)
-                if self._aggregator is None:
-                    output.append(list(records))
-                else:
-                    combiners: dict[Any, Any] = {}
-                    agg = self._aggregator
-                    for key, value in records:
-                        if key in combiners:
-                            combiners[key] = agg.merge_value(combiners[key], value)
-                        else:
-                            combiners[key] = agg.create_combiner(value)
-                    output.append(list(combiners.items()))
-            task_seconds.append(timer.own_seconds)
+
+        def make_task(split: int) -> Callable[[], tuple]:
+            def task() -> tuple:
+                with self.ctx.metrics.task_timer() as timer:
+                    records = self._parent.iterator(split)
+                    if self._aggregator is None:
+                        combined = list(records)
+                    else:
+                        combiners: dict[Any, Any] = {}
+                        agg = self._aggregator
+                        for key, value in records:
+                            if key in combiners:
+                                combiners[key] = agg.merge_value(combiners[key], value)
+                            else:
+                                combiners[key] = agg.create_combiner(value)
+                        combined = list(combiners.items())
+                return combined, timer
+
+            return task
+
+        results = self.ctx.runner.run_stage(
+            [make_task(split) for split in range(self._parent.num_partitions)]
+        )
+        output = [combined for combined, _timer in results]
+        task_seconds = [timer.own_seconds for _combined, timer in results]
         self.ctx.metrics.record_stage(self._parent.num_partitions, task_seconds)
         return output
 
@@ -855,44 +932,106 @@ class CoGroupedRDD(RDD):
         super().__init__(ctx, partitioner.num_partitions, partitioner)
         self._parents = parents
         self._output: Optional[list[list[tuple[Any, Any]]]] = None
+        self._materialize_lock = threading.Lock()
+
+    @property
+    def dependencies(self) -> list[RDD]:
+        return list(self._parents)
+
+    def prepare_execution(self, seen: set[int]) -> None:
+        if id(self) in seen:
+            return
+        seen.add(id(self))
+        if self._output is not None:
+            return
+        if self._cached and self.ctx.block_manager.contains_all(
+            self.id, self._num_partitions
+        ):
+            return
+        for parent in self._parents:
+            parent.prepare_execution(seen)
+        self._materialize()
 
     def _materialize(self) -> list[list[tuple[Any, Any]]]:
-        if self._output is not None:
-            return self._output
+        output = self._output
+        if output is None:
+            with self._materialize_lock:
+                if self._output is None:
+                    self._output = self._run_cogroup()
+                output = self._output
+        return output
+
+    def _parent_buckets(self, parent: RDD) -> list[list[tuple[Any, Any]]]:
+        """One bucket per output partition for one parent."""
+        if parent.partitioner == self.partitioner:
+            # Already co-partitioned: drain parent partitions in place
+            # (independent splits, so they fan out on the runner).
+
+            def make_drain_task(split: int) -> Callable[[], tuple]:
+                def task() -> tuple:
+                    with self.ctx.metrics.task_timer() as timer:
+                        records = list(parent.iterator(split))
+                    return records, timer
+
+                return task
+
+            results = self.ctx.runner.run_stage(
+                [make_drain_task(i) for i in range(parent.num_partitions)]
+            )
+            self.ctx.metrics.record_stage(
+                parent.num_partitions,
+                [timer.own_seconds for _records, timer in results],
+            )
+            return [records for records, _timer in results]
+        blocks = self.ctx.block_manager
+        reused = blocks.lookup_shuffle(parent.id, self.partitioner, None)
+        if reused is not None:
+            return reused
+        map_outputs = (parent.iterator(i) for i in range(parent.num_partitions))
+        buckets = self.ctx.shuffle_manager.shuffle(
+            map_outputs, self.partitioner, None
+        )
+        blocks.register_shuffle(parent.id, self.partitioner, None, buckets)
+        return buckets
+
+    def _run_cogroup(self) -> list[list[tuple[Any, Any]]]:
         arity = len(self._parents)
         grouped: list[dict[Any, tuple[list, ...]]] = [
             {} for _ in range(self.num_partitions)
         ]
         merge_seconds = [0.0] * self.num_partitions
+        # Parents are processed sequentially so each key's value lists
+        # keep parent order; the per-split merges within one parent are
+        # independent and fan out on the runner.
         for index, parent in enumerate(self._parents):
-            if parent.partitioner == self.partitioner:
-                local_seconds = []
-                buckets: list[list[tuple[Any, Any]]] = []
-                for i in range(parent.num_partitions):
+            buckets = self._parent_buckets(parent)
+
+            def make_merge_task(
+                split: int, bucket: list, index: int = index
+            ) -> Callable[[], Any]:
+                def task() -> Any:
                     with self.ctx.metrics.task_timer() as timer:
-                        buckets.append(list(parent.iterator(i)))
-                    local_seconds.append(timer.own_seconds)
-                self.ctx.metrics.record_stage(parent.num_partitions, local_seconds)
-            else:
-                map_outputs = (
-                    parent.iterator(i) for i in range(parent.num_partitions)
-                )
-                buckets = self.ctx.shuffle_manager.shuffle(
-                    map_outputs, self.partitioner, None
-                )
-            for split, bucket in enumerate(buckets):
-                with self.ctx.metrics.task_timer() as timer:
-                    table = grouped[split]
-                    for key, value in bucket:
-                        entry = table.get(key)
-                        if entry is None:
-                            entry = tuple([] for _ in range(arity))
-                            table[key] = entry
-                        entry[index].append(value)
+                        table = grouped[split]
+                        for key, value in bucket:
+                            entry = table.get(key)
+                            if entry is None:
+                                entry = tuple([] for _ in range(arity))
+                                table[key] = entry
+                            entry[index].append(value)
+                    return timer
+
+                return task
+
+            timers = self.ctx.runner.run_stage(
+                [
+                    make_merge_task(split, bucket)
+                    for split, bucket in enumerate(buckets)
+                ]
+            )
+            for split, timer in enumerate(timers):
                 merge_seconds[split] += timer.own_seconds
         self.ctx.metrics.record_stage(self.num_partitions, merge_seconds)
-        self._output = [list(table.items()) for table in grouped]
-        return self._output
+        return [list(table.items()) for table in grouped]
 
     def compute(self, split: int) -> Iterator:
         return iter(self._materialize()[split])
@@ -904,6 +1043,10 @@ class UnionRDD(RDD):
     def __init__(self, ctx: "EngineContext", parents: list[RDD]):
         super().__init__(ctx, sum(p.num_partitions for p in parents))
         self._parents = parents
+
+    @property
+    def dependencies(self) -> list[RDD]:
+        return list(self._parents)
 
     def compute(self, split: int) -> Iterator:
         for parent in self._parents:
@@ -921,6 +1064,10 @@ class CartesianRDD(RDD):
         self._left = left
         self._right = right
 
+    @property
+    def dependencies(self) -> list[RDD]:
+        return [self._left, self._right]
+
     def compute(self, split: int) -> Iterator:
         left_split, right_split = divmod(split, self._right.num_partitions)
         left_items = list(self._left.iterator(left_split))
@@ -936,6 +1083,10 @@ class ZippedRDD(RDD):
         super().__init__(left.ctx, left.num_partitions)
         self._left = left
         self._right = right
+
+    @property
+    def dependencies(self) -> list[RDD]:
+        return [self._left, self._right]
 
     def compute(self, split: int) -> Iterator:
         left_items = list(self._left.iterator(split))
@@ -955,6 +1106,10 @@ class CoalescedRDD(RDD):
         super().__init__(parent.ctx, num_partitions)
         self._parent = parent
         self._groups = _slice(list(range(parent.num_partitions)), num_partitions)
+
+    @property
+    def dependencies(self) -> list[RDD]:
+        return [self._parent]
 
     def compute(self, split: int) -> Iterator:
         return itertools.chain.from_iterable(

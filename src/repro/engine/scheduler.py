@@ -1,34 +1,62 @@
 """Job execution: runs one task per partition and times it.
 
 Wide dependencies materialize themselves (see ``ShuffledRDD`` /
-``CoGroupedRDD``), so by the time a result-stage task pulls its partition,
-all upstream shuffles have run and been accounted.  What remains for the
-scheduler is the result stage itself: evaluate ``func`` over every
-partition of the target RDD, recording task count and compute time.
+``CoGroupedRDD``); what remains for the scheduler is the result stage:
+evaluate ``func`` over every partition of the target RDD, recording task
+count and compute time.
 
-Tasks can optionally run on a thread pool (``ThreadedTaskRunner``); the
-default is the deterministic serial runner, which on a single-core machine
-is also the fastest.  Simulated parallelism is applied afterwards by the
-cost model in :mod:`repro.engine.metrics`, not by real threads.
+Two runners execute a stage's tasks:
+
+* :class:`SerialTaskRunner` (default) runs them one after another —
+  deterministic, and on a single-core machine also the fastest.
+* :class:`ThreadedTaskRunner` fans them out on one persistent thread
+  pool, sized from the :class:`~repro.engine.cluster.ClusterSpec` and
+  shared by every stage of the context — result stages, shuffle
+  map/reduce tasks, and cogroup merges all submit to it.  Task bodies
+  that release the GIL (NumPy/BLAS tile kernels) genuinely overlap.
+
+With a parallel runner the scheduler *prepares* a job before fanning
+out: wide dependencies in the target RDD's lineage are materialized
+bottom-up from the driver thread, exactly like Spark running shuffle map
+stages before the result stage.  Without this, lazy evaluation would
+trigger the whole shuffle inside the first result task — serializing the
+job on one worker while the rest wait on the materialization lock.  Work
+that still reaches the pool from inside a worker (nested materialization
+through a cache miss, say) runs inline on that worker instead of being
+re-submitted, so the pool can never deadlock on itself.
+
+Neither runner changes any measured metric: stage/task/shuffle counters
+are identical between the two, and simulated parallelism is applied by
+the cost model in :mod:`repro.engine.metrics`, not by real threads.
 """
 
 from __future__ import annotations
 
-import time
+import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import TYPE_CHECKING, Any, Callable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import ClusterSpec
     from .rdd import RDD
 
 
 class TaskRunner:
     """Strategy for executing the tasks of one stage."""
 
+    #: Whether the runner may execute tasks concurrently; the scheduler
+    #: pre-materializes wide dependencies only for parallel runners so
+    #: the serial path stays byte-identical to the historical engine.
+    parallel = False
+
     def run_stage(
         self, tasks: list[Callable[[], Any]]
     ) -> list[Any]:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any execution resources (idempotent)."""
 
 
 class SerialTaskRunner(TaskRunner):
@@ -38,19 +66,92 @@ class SerialTaskRunner(TaskRunner):
         return [task() for task in tasks]
 
 
-class ThreadedTaskRunner(TaskRunner):
-    """Runs tasks on a thread pool.
+def _invoke(task: Callable[[], Any]) -> Any:
+    return task()
 
-    Useful when task bodies release the GIL (NumPy kernels); the engine's
-    correctness does not depend on it.
+
+class ThreadedTaskRunner(TaskRunner):
+    """Runs stages on one persistent thread pool.
+
+    The pool is created lazily on the first multi-task stage and reused
+    for every stage afterwards (creating a ``ThreadPoolExecutor`` per
+    stage costs more than many of the engine's stages).  Stages
+    submitted from inside a pool worker — nested materialization — run
+    inline on that worker, which keeps results correct and makes
+    pool-exhaustion deadlocks impossible.  Shut the pool down with
+    :meth:`close` (``EngineContext.close()`` does this).
     """
 
-    def __init__(self, max_workers: int = 4):
+    parallel = True
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is None:
+            max_workers = max(1, os.cpu_count() or 1)
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
         self._max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._worker_state = threading.local()
+
+    @classmethod
+    def for_cluster(cls, cluster: "ClusterSpec") -> "ThreadedTaskRunner":
+        """A runner sized for ``cluster`` on this machine."""
+        return cls(max_workers=cluster.local_parallelism())
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    def _mark_worker(self) -> None:
+        self._worker_state.in_worker = True
+
+    def _in_worker(self) -> bool:
+        return getattr(self._worker_state, "in_worker", False)
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="repro-executor",
+                    initializer=self._mark_worker,
+                )
+            return self._pool
 
     def run_stage(self, tasks: list[Callable[[], Any]]) -> list[Any]:
-        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
-            return list(pool.map(lambda t: t(), tasks))
+        if len(tasks) <= 1 or self._max_workers == 1 or self._in_worker():
+            return [task() for task in tasks]
+        return list(self._ensure_pool().map(_invoke, tasks))
+
+    def close(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+def resolve_runner(
+    runner: Union[TaskRunner, str, None], cluster: "ClusterSpec"
+) -> TaskRunner:
+    """Resolve a runner argument to a :class:`TaskRunner` instance.
+
+    ``None`` consults the ``REPRO_RUNNER`` environment variable
+    (``serial`` when unset); the strings ``"serial"`` and ``"threads"``
+    name the two built-in runners, with the threaded one sized from
+    ``cluster``.
+    """
+    if runner is None:
+        runner = os.environ.get("REPRO_RUNNER", "serial")
+    if isinstance(runner, TaskRunner):
+        return runner
+    if runner == "serial":
+        return SerialTaskRunner()
+    if runner in ("threads", "threaded"):
+        return ThreadedTaskRunner.for_cluster(cluster)
+    raise ValueError(
+        f"unknown runner {runner!r}: expected a TaskRunner, 'serial', or 'threads'"
+    )
 
 
 class DAGScheduler:
@@ -59,6 +160,10 @@ class DAGScheduler:
     def __init__(self, metrics, runner: TaskRunner | None = None):
         self._metrics = metrics
         self._runner = runner or SerialTaskRunner()
+
+    @property
+    def runner(self) -> TaskRunner:
+        return self._runner
 
     def run_job(
         self,
@@ -83,6 +188,8 @@ class DAGScheduler:
             return task
 
         with self._metrics.job(description):
+            if self._runner.parallel:
+                rdd.prepare_execution(set())
             tasks = [make_task(split) for split in range(rdd.num_partitions)]
             results = self._runner.run_stage(tasks)
             self._metrics.record_stage(len(tasks), task_seconds)

@@ -71,3 +71,107 @@ def _fallback_estimate(obj: Any) -> int:
 def estimate_record_size(record: Any) -> int:
     """Size of one shuffle record, including the per-record envelope."""
     return estimate_size(record) + RECORD_OVERHEAD
+
+
+# ----------------------------------------------------------------------
+# Fast-path accounting for homogeneous record streams
+# ----------------------------------------------------------------------
+#
+# Shuffle streams in this engine are overwhelmingly *homogeneous*: every
+# record of a tiled-matrix shuffle is ``((i, j), ndarray)`` and every
+# record of a coordinate shuffle is ``((i, j), float)``.  Walking each
+# record recursively through ``_estimate`` costs more than the rest of
+# the shuffle loop combined, so the accountant below derives a record's
+# size from a structural *signature* — key shape plus value type (and
+# dtype/shape for arrays) — and memoizes the estimate per signature.
+# Records that do not fit a fixed-size signature fall back to the full
+# recursive walk, so the totals are byte-identical to per-record
+# estimation in every case.
+
+#: Types whose estimate does not depend on the value (see
+#: ``_PRIMITIVE_SIZES``); signature membership implies a constant size.
+_FIXED_SIZE_TYPES = frozenset(_PRIMITIVE_SIZES)
+
+#: Size of a ``((int, int), ndarray)`` tile record minus the array
+#: buffer: record tuple (2) + key tuple (2 + 8 + 8) + array header (16)
+#: + per-record envelope.
+_TILE_RECORD_OVERHEAD = 2 + (2 + 8 + 8) + 16 + RECORD_OVERHEAD
+
+
+def _fixed_size_signature(obj: Any) -> Any:
+    """A hashable signature for values whose estimate is type-determined.
+
+    Returns ``None`` when ``obj``'s size depends on its contents (strings,
+    lists, arbitrary objects), which routes the record to the full walk.
+    """
+    t = type(obj)
+    if t in _FIXED_SIZE_TYPES:
+        return t
+    if t is tuple:
+        parts = tuple(_fixed_size_signature(item) for item in obj)
+        if None in parts:
+            return None
+        return ("t", parts)
+    if isinstance(obj, np.generic):
+        return ("g", t)
+    return None
+
+
+def _record_signature(record: Any) -> Any:
+    """Signature of a ``(key, value)`` shuffle record, or ``None``."""
+    if type(record) is not tuple or len(record) != 2:
+        return None
+    key, value = record
+    ksig = _fixed_size_signature(key)
+    if ksig is None:
+        return None
+    tv = type(value)
+    if tv is np.ndarray:
+        return (ksig, value.dtype, value.shape)
+    vsig = _fixed_size_signature(value)
+    if vsig is None:
+        return None
+    return (ksig, vsig)
+
+
+class RecordSizeAccountant:
+    """Amortized, byte-exact size accounting for shuffle record streams.
+
+    ``record_size`` agrees with :func:`estimate_record_size` on every
+    input by construction: the first record of each signature is priced
+    by the full estimator and later records of the same signature reuse
+    the memoized price.  ``((i, j), ndarray)`` tile records — the block
+    shuffle hot path — skip the memo entirely and price directly from
+    ``ndarray.nbytes``, so ragged edge tiles stay exact without one memo
+    entry per shape.
+    """
+
+    __slots__ = ("_memo",)
+
+    def __init__(self):
+        self._memo: dict[Any, int] = {}
+
+    def record_size(self, record: Any) -> int:
+        """Size of one record (identical to ``estimate_record_size``)."""
+        if type(record) is tuple and len(record) == 2:
+            key, value = record
+            if type(value) is np.ndarray and type(key) is tuple and len(key) == 2:
+                k0, k1 = key
+                if type(k0) is int and type(k1) is int:
+                    return int(value.nbytes) + _TILE_RECORD_OVERHEAD
+        sig = _record_signature(record)
+        if sig is None:
+            return estimate_record_size(record)
+        size = self._memo.get(sig)
+        if size is None:
+            size = estimate_record_size(record)
+            self._memo[sig] = size
+        return size
+
+    def batch_size(self, records: Any) -> int:
+        """Total size of a batch of records (one call per partition)."""
+        total = 0
+        size_of = self.record_size
+        for record in records:
+            total += size_of(record)
+        return total

@@ -17,7 +17,16 @@ mirror Spark:
   measures exactly this difference.
 
 Shuffled bytes are *measured* from the actual records via
-:mod:`repro.engine.serialization`, not assumed.
+:mod:`repro.engine.serialization`, not assumed — but through the
+:class:`~repro.engine.serialization.RecordSizeAccountant` fast path, so
+pricing a homogeneous tile stream costs a memo lookup per record rather
+than a recursive walk, and the accounting is batched per map partition.
+
+Map tasks (drain + combine + bucket + account one map partition) and
+reduce tasks (merge one bucket) are independent, so both fan out on the
+engine's shared :class:`~repro.engine.scheduler.TaskRunner`.  Buckets
+are concatenated in map-partition order afterwards, which makes the
+output — and every recorded counter — identical to the serial drain.
 """
 
 from __future__ import annotations
@@ -28,7 +37,8 @@ from typing import Any, Callable, Iterable, Iterator, Optional
 
 from .metrics import MetricsRegistry
 from .partitioner import Partitioner
-from .serialization import estimate_record_size
+from .scheduler import SerialTaskRunner, TaskRunner
+from .serialization import RecordSizeAccountant
 
 
 @dataclass
@@ -49,8 +59,9 @@ class Aggregator:
 class ShuffleManager:
     """Executes shuffles and records their measured volume."""
 
-    def __init__(self, metrics: MetricsRegistry):
+    def __init__(self, metrics: MetricsRegistry, runner: Optional[TaskRunner] = None):
         self._metrics = metrics
+        self._runner = runner or SerialTaskRunner()
 
     def shuffle(
         self,
@@ -73,21 +84,41 @@ class ShuffleManager:
             an aggregator the value is the fully merged combiner.
         """
         num_reducers = partitioner.num_partitions
+        # One accountant for the whole shuffle: map partitions of one
+        # shuffle share record shapes, so the signature memo hits across
+        # tasks (dict access is atomic under the GIL, and a racing
+        # double-insert writes the same value).
+        accountant = RecordSizeAccountant()
+
+        def make_map_task(partition_iter: Iterator[tuple[Any, Any]]):
+            def map_task():
+                with self._metrics.task_timer() as timer:
+                    if aggregator is not None and aggregator.map_side_combine:
+                        records = self._combine_map_side(partition_iter, aggregator)
+                    else:
+                        records = list(partition_iter)
+                    local_buckets: list[list] = [[] for _ in range(num_reducers)]
+                    partition = partitioner.partition
+                    for record in records:
+                        local_buckets[partition(record[0])].append(record)
+                    nbytes = accountant.batch_size(records)
+                return local_buckets, len(records), nbytes, timer
+
+            return map_task
+
+        map_tasks = [make_map_task(it) for it in map_outputs]
+        map_results = self._runner.run_stage(map_tasks)
+
         buckets: list[list[tuple[Any, Any]]] = [[] for _ in range(num_reducers)]
         map_task_seconds: list[float] = []
         shuffled_records = 0
         shuffled_bytes = 0
-
-        for partition_iter in map_outputs:
-            with self._metrics.task_timer() as timer:
-                if aggregator is not None and aggregator.map_side_combine:
-                    records = self._combine_map_side(partition_iter, aggregator)
-                else:
-                    records = list(partition_iter)
-                for key, value in records:
-                    buckets[partitioner.partition(key)].append((key, value))
-                    shuffled_records += 1
-                    shuffled_bytes += estimate_record_size((key, value))
+        for local_buckets, num_records, nbytes, timer in map_results:
+            for reducer, local in enumerate(local_buckets):
+                if local:
+                    buckets[reducer].extend(local)
+            shuffled_records += num_records
+            shuffled_bytes += nbytes
             map_task_seconds.append(timer.own_seconds)
 
         self._metrics.record_stage(len(map_task_seconds), map_task_seconds)
@@ -95,12 +126,20 @@ class ShuffleManager:
 
         if aggregator is None:
             return buckets
-        merged = []
-        reduce_task_seconds = []
-        for bucket in buckets:
-            with self._metrics.task_timer() as timer:
-                merged.append(self._merge_reduce_side(bucket, aggregator))
-            reduce_task_seconds.append(timer.own_seconds)
+
+        def make_reduce_task(bucket: list):
+            def reduce_task():
+                with self._metrics.task_timer() as timer:
+                    merged_bucket = self._merge_reduce_side(bucket, aggregator)
+                return merged_bucket, timer
+
+            return reduce_task
+
+        reduce_results = self._runner.run_stage(
+            [make_reduce_task(bucket) for bucket in buckets]
+        )
+        merged = [bucket for bucket, _timer in reduce_results]
+        reduce_task_seconds = [timer.own_seconds for _bucket, timer in reduce_results]
         self._metrics.record_stage(len(merged), reduce_task_seconds)
         return merged
 

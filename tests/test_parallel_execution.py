@@ -1,0 +1,277 @@
+"""Parallel stage execution: runner resolution, metric parity, safety.
+
+The engine's headline invariant for the threaded runner is that it is a
+pure wall-clock optimization: every measured counter — stages, tasks,
+shuffles, shuffle records, shuffle bytes — and every computed result is
+identical to the serial runner's.  These tests pin that down on the
+paper's two benchmark shapes (tile addition and both multiplication
+plans) plus the MLlib workalike, and cover the execution machinery
+itself: the persistent pool, nested-stage inlining, accumulator
+atomicity, and context shutdown.
+"""
+
+import os
+import threading
+from unittest import mock
+
+import numpy as np
+import pytest
+
+from repro import PlannerOptions, SacSession
+from repro.engine import (
+    EngineContext,
+    SerialTaskRunner,
+    TINY_CLUSTER,
+    ThreadedTaskRunner,
+    resolve_runner,
+)
+from repro.mllib import BlockMatrix
+from repro.workloads import dense_uniform
+
+MULTIPLY = (
+    "tiled(n,m)[ ((i,j),+/v) | ((i,k),a) <- A, ((kk,j),b) <- B,"
+    " kk == k, let v = a*b, group by (i,j) ]"
+)
+
+ADD = "tiled(n,m)[ ((i,j), a + b) | ((i,j),a) <- A, ((ii,jj),b) <- B, ii == i, jj == j ]"
+
+
+def _counters(metrics):
+    total = metrics.total
+    return {
+        "stages": total.stages,
+        "tasks": total.tasks,
+        "shuffles": total.shuffles,
+        "shuffle_records": total.shuffle_records,
+        "shuffle_bytes": total.shuffle_bytes,
+    }
+
+
+# ----------------------------------------------------------------------
+# Runner resolution
+# ----------------------------------------------------------------------
+
+
+def test_resolve_runner_strings():
+    assert isinstance(resolve_runner("serial", TINY_CLUSTER), SerialTaskRunner)
+    threaded = resolve_runner("threads", TINY_CLUSTER)
+    assert isinstance(threaded, ThreadedTaskRunner)
+    assert threaded.max_workers == TINY_CLUSTER.local_parallelism()
+    assert isinstance(resolve_runner("threaded", TINY_CLUSTER), ThreadedTaskRunner)
+    threaded.close()
+
+
+def test_resolve_runner_passthrough_instance():
+    runner = ThreadedTaskRunner(max_workers=2)
+    assert resolve_runner(runner, TINY_CLUSTER) is runner
+    runner.close()
+
+
+def test_resolve_runner_env_default():
+    with mock.patch.dict(os.environ, {"REPRO_RUNNER": "threads"}):
+        runner = resolve_runner(None, TINY_CLUSTER)
+    assert isinstance(runner, ThreadedTaskRunner)
+    runner.close()
+    with mock.patch.dict(os.environ, {}, clear=True):
+        assert isinstance(resolve_runner(None, TINY_CLUSTER), SerialTaskRunner)
+
+
+def test_resolve_runner_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown runner"):
+        resolve_runner("fibers", TINY_CLUSTER)
+
+
+def test_threaded_runner_rejects_nonpositive_workers():
+    with pytest.raises(ValueError):
+        ThreadedTaskRunner(max_workers=0)
+
+
+# ----------------------------------------------------------------------
+# Runner machinery
+# ----------------------------------------------------------------------
+
+
+def test_threaded_pool_is_persistent_across_stages():
+    runner = ThreadedTaskRunner(max_workers=2)
+    try:
+        runner.run_stage([lambda: 1, lambda: 2])
+        first_pool = runner._pool
+        assert first_pool is not None
+        runner.run_stage([lambda: 3, lambda: 4])
+        assert runner._pool is first_pool
+    finally:
+        runner.close()
+    assert runner._pool is None
+
+
+def test_threaded_runner_close_is_idempotent():
+    runner = ThreadedTaskRunner(max_workers=2)
+    runner.run_stage([lambda: 1, lambda: 2])
+    runner.close()
+    runner.close()
+    # The runner stays usable: a new pool is spawned lazily.
+    assert runner.run_stage([lambda: 5, lambda: 6]) == [5, 6]
+    runner.close()
+
+
+def test_threaded_runner_preserves_task_order():
+    runner = ThreadedTaskRunner(max_workers=4)
+    try:
+        tasks = [lambda i=i: i * i for i in range(50)]
+        assert runner.run_stage(tasks) == [i * i for i in range(50)]
+    finally:
+        runner.close()
+
+
+def test_nested_stage_from_worker_runs_inline_without_deadlock():
+    """A stage submitted from inside a pool worker must not re-enter the
+    pool: with more nested stages than workers that would deadlock."""
+    runner = ThreadedTaskRunner(max_workers=2)
+
+    def outer(i):
+        inner = runner.run_stage([lambda j=j: (i, j) for j in range(3)])
+        assert threading.current_thread().name.startswith("repro-executor")
+        return inner
+
+    try:
+        results = runner.run_stage([lambda i=i: outer(i) for i in range(8)])
+        assert results == [[(i, j) for j in range(3)] for i in range(8)]
+    finally:
+        runner.close()
+
+
+def test_single_task_stage_runs_on_calling_thread():
+    runner = ThreadedTaskRunner(max_workers=4)
+    try:
+        names = runner.run_stage([lambda: threading.current_thread().name])
+        assert names == [threading.current_thread().name]
+    finally:
+        runner.close()
+
+
+def test_engine_context_manager_closes_runner():
+    runner = ThreadedTaskRunner(max_workers=2)
+    with EngineContext(cluster=TINY_CLUSTER, runner=runner) as ctx:
+        assert ctx.runner is runner
+        assert ctx.parallelize(range(100), 8).sum() == sum(range(100))
+        assert runner._pool is not None
+    assert runner._pool is None
+
+
+def test_session_context_manager_closes_runner():
+    with SacSession(tile_size=4, runner=ThreadedTaskRunner(max_workers=2)) as session:
+        runner = session.engine.runner
+        a = session.tiled(np.arange(64.0).reshape(8, 8))
+        assert a.materialize().tiles.count() == 4
+    assert runner._pool is None
+
+
+def test_accumulator_add_is_atomic_under_threaded_runner():
+    ctx = EngineContext(cluster=TINY_CLUSTER, runner=ThreadedTaskRunner(max_workers=4))
+    acc = ctx.accumulator(0)
+    rdd = ctx.parallelize(range(20_000), 16)
+    rdd.foreach(lambda _x: acc.add(1))
+    assert acc.value == 20_000
+    ctx.close()
+
+
+# ----------------------------------------------------------------------
+# Metric and result parity: serial vs threaded
+# ----------------------------------------------------------------------
+
+
+def _session(runner, group_by_join):
+    return SacSession(
+        tile_size=25,
+        runner=runner,
+        options=PlannerOptions(group_by_join=group_by_join),
+    )
+
+
+@pytest.mark.parametrize("group_by_join", [False, True])
+def test_multiplication_parity_serial_vs_threaded(group_by_join):
+    """fig4b shape: both SAC plans give identical bytes and results."""
+    n = 75
+    a = dense_uniform(n, n, seed=1)
+    b = dense_uniform(n, n, seed=2)
+    outputs, counters = [], []
+    for runner in [SerialTaskRunner(), ThreadedTaskRunner(max_workers=4)]:
+        with _session(runner, group_by_join) as session:
+            A = session.tiled(a).materialize()
+            B = session.tiled(b).materialize()
+            snapshot = session.metrics_snapshot()
+            result = session.run(MULTIPLY, A=A, B=B, n=n, m=n).to_numpy()
+            delta = session.metrics_delta(snapshot)
+        outputs.append(result)
+        counters.append(
+            (delta.stages, delta.tasks, delta.shuffles,
+             delta.shuffle_records, delta.shuffle_bytes)
+        )
+    np.testing.assert_array_equal(outputs[0], outputs[1])
+    np.testing.assert_allclose(outputs[0], a @ b)
+    assert counters[0] == counters[1]
+    assert counters[0][4] > 0  # the plans really shuffled
+
+
+def test_addition_parity_serial_vs_threaded():
+    """fig4a shape: element-wise addition of co-tiled matrices."""
+    n = 60
+    a = dense_uniform(n, n, seed=3)
+    b = dense_uniform(n, n, seed=4)
+    outputs, counters = [], []
+    for runner in [SerialTaskRunner(), ThreadedTaskRunner(max_workers=4)]:
+        with _session(runner, True) as session:
+            A = session.tiled(a).materialize()
+            B = session.tiled(b).materialize()
+            snapshot = session.metrics_snapshot()
+            result = session.run(ADD, A=A, B=B, n=n, m=n).to_numpy()
+            delta = session.metrics_delta(snapshot)
+        outputs.append(result)
+        counters.append(
+            (delta.stages, delta.tasks, delta.shuffles,
+             delta.shuffle_records, delta.shuffle_bytes)
+        )
+    np.testing.assert_array_equal(outputs[0], outputs[1])
+    np.testing.assert_allclose(outputs[0], a + b)
+    assert counters[0] == counters[1]
+
+
+def test_mllib_multiply_parity_serial_vs_threaded():
+    n = 75
+    a = dense_uniform(n, n, seed=5)
+    b = dense_uniform(n, n, seed=6)
+    outputs, counters = [], []
+    for runner in [SerialTaskRunner(), ThreadedTaskRunner(max_workers=4)]:
+        with EngineContext(runner=runner) as engine:
+            A = BlockMatrix.from_numpy(engine, a, 25)
+            B = BlockMatrix.from_numpy(engine, b, 25)
+            result = A.multiply(B).to_numpy()
+            outputs.append(result)
+            counters.append(_counters(engine.metrics))
+    np.testing.assert_array_equal(outputs[0], outputs[1])
+    np.testing.assert_allclose(outputs[0], a @ b)
+    assert counters[0] == counters[1]
+    assert counters[0]["shuffle_bytes"] > 0
+
+
+def test_rdd_pipeline_parity_serial_vs_threaded():
+    """Raw engine pipeline (reduce_by_key + join + cache) parity."""
+    results, counters = [], []
+    for runner in [SerialTaskRunner(), ThreadedTaskRunner(max_workers=4)]:
+        with EngineContext(cluster=TINY_CLUSTER, runner=runner) as ctx:
+            left = ctx.parallelize([(i % 7, i) for i in range(500)], 8)
+            right = ctx.parallelize([(i % 7, i * i) for i in range(100)], 4)
+            summed = left.reduce_by_key(lambda x, y: x + y).cache()
+            joined = summed.join(right)
+            results.append(sorted(joined.collect()))
+            counters.append(_counters(ctx.metrics))
+    assert results[0] == results[1]
+    assert counters[0] == counters[1]
+
+
+def test_serial_runner_is_default_and_not_parallel():
+    with mock.patch.dict(os.environ, {}, clear=True):
+        ctx = EngineContext()
+    assert isinstance(ctx.runner, SerialTaskRunner)
+    assert ctx.runner.parallel is False
+    assert ThreadedTaskRunner.parallel is True
