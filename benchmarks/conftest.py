@@ -82,6 +82,19 @@ PAPER_EXPECTATIONS = {
         "shuffle and compute proportionally to the block density, "
         "beating dense tiles on block-sparse inputs."
     ),
+    "ablation-costmodel-square": (
+        "Cost model: both sides large, so SUMMA replication wins; the "
+        "broadcast would ship a whole matrix to every executor."
+    ),
+    "ablation-costmodel-tall-skinny": (
+        "Cost model: the one-tile-wide right side broadcasts for less "
+        "than replicating column bands — expect the flip to roughly "
+        "halve the shuffled volume."
+    ),
+    "ablation-costmodel-tiny-x-large": (
+        "Cost model: mirrored case — the tiny left side broadcasts; "
+        "same shuffle saving as tall-skinny."
+    ),
     "ablation-tilesize": (
         "Design choice: tiny tiles pay task/shuffle overhead per tile, "
         "huge tiles lose parallelism; throughput should peak at a "
@@ -121,6 +134,7 @@ def run_measured(engine, fn, repeats: int = 5):
                 "shuffles": delta.shuffles,
                 "shuffle_records": delta.shuffle_records,
                 "shuffle_bytes": delta.shuffle_bytes,
+                "estimated_shuffle_bytes": delta.estimated_shuffle_bytes,
                 "cache_hits": delta.cache_hits,
                 "cache_misses": delta.cache_misses,
                 "cache_evicted_bytes": delta.cache_evicted_bytes,
@@ -128,6 +142,31 @@ def run_measured(engine, fn, repeats: int = 5):
             }
             best = (wall, sim, delta.shuffle_bytes, counters)
     return best
+
+
+def plan_report(compiled, session=None) -> dict:
+    """Planner-side counters to merge into ``record``'s ``counters``.
+
+    Reports the strategy the cost-based planner chose, its estimates,
+    every candidate's predicted time, and (when a session is given) the
+    session's parse/plan cache hit counters.
+    """
+    plan = compiled.plan
+    info: dict = {}
+    strategy = plan.details.get("strategy")
+    if strategy:
+        info["strategy"] = strategy
+    if plan.estimate is not None:
+        info["plan_estimated_shuffle_bytes"] = plan.estimate.shuffle_bytes
+        info["plan_estimated_seconds"] = round(plan.estimate.total_seconds, 6)
+    if plan.candidates:
+        info["candidate_seconds"] = {
+            name: round(est.total_seconds, 6)
+            for name, est in plan.candidates.items()
+        }
+    if session is not None:
+        info["compile_caches"] = session.compile_stats()
+    return info
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -171,6 +210,7 @@ def pytest_sessionfinish(session, exitstatus):
             print(line)
         _print_ratios(rows, systems, sizes)
         _print_cache_counters(rows)
+        _print_planner_counters(rows)
         expectation = PAPER_EXPECTATIONS.get(experiment)
         if expectation:
             print(f"  paper: {expectation}")
@@ -211,6 +251,39 @@ def _print_cache_counters(rows):
         print(
             f"  block manager: {hits} cache hits, {misses} misses, "
             f"{evicted / 1e6:.1f}MB evicted, {reuses} shuffle reuses"
+        )
+
+
+def _print_planner_counters(rows):
+    """Cost-model activity for one experiment, when there was any."""
+    strategies = sorted({
+        f"{r.system}={r.counters['strategy']}"
+        for r in rows if r.counters.get("strategy")
+    })
+    if strategies:
+        print(f"  planner strategy: {', '.join(strategies)}")
+    estimated = sum(r.counters.get("estimated_shuffle_bytes", 0) for r in rows)
+    if estimated:
+        measured = sum(
+            r.counters.get("shuffle_bytes", 0)
+            for r in rows if r.counters.get("estimated_shuffle_bytes")
+        )
+        ratio = estimated / measured if measured else float("inf")
+        print(
+            f"  cost model: estimated {estimated / 1e6:.1f}MB shuffle vs "
+            f"measured {measured / 1e6:.1f}MB (x{ratio:.2f})"
+        )
+    hits = misses = 0
+    for row in rows:
+        stats = row.counters.get("compile_caches", {}).get("plan_cache")
+        if stats:
+            hits = max(hits, stats["hits"])
+            misses = max(misses, stats["misses"])
+    if hits or misses:
+        rate = hits / (hits + misses) if hits + misses else 0.0
+        print(
+            f"  plan cache: {hits} hits / {misses} misses "
+            f"({100 * rate:.0f}% hit rate)"
         )
 
 

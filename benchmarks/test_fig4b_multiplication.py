@@ -16,9 +16,10 @@ to ~6× faster than MLlib.
 
 import pytest
 
+from conftest import plan_report
 from repro import PlannerOptions, SacSession
 from repro.core import ops
-from repro.engine import EngineContext
+from repro.engine import BENCH_CLUSTER, PAPER_CLUSTER, EngineContext
 from repro.mllib import BlockMatrix
 from repro.planner import RULE_GROUP_BY_JOIN, RULE_TILED_REDUCE
 from repro.workloads import dense_uniform
@@ -39,41 +40,63 @@ def _arrays(n):
 
 def _sac_setup(n, group_by_join):
     a, b = _arrays(n)
+    # The cost-based arm decides against the same cluster spec the
+    # harness simulates, so its choices can be validated by measurement.
+    cluster = BENCH_CLUSTER if group_by_join is None else PAPER_CLUSTER
     session = SacSession(
-        tile_size=TILE, options=PlannerOptions(group_by_join=group_by_join)
+        cluster=cluster, tile_size=TILE,
+        options=PlannerOptions(group_by_join=group_by_join),
     )
     A = session.tiled(a).materialize()
     B = session.tiled(b).materialize()
     compiled = session.compile(MULTIPLY, A=A, B=B, n=n, m=n)
-    expected = RULE_GROUP_BY_JOIN if group_by_join else RULE_TILED_REDUCE
-    assert compiled.plan.rule == expected
-    return session, A, B
+    if group_by_join is not None:
+        expected = RULE_GROUP_BY_JOIN if group_by_join else RULE_TILED_REDUCE
+        assert compiled.plan.rule == expected
+    return session, A, B, compiled
 
 
 @pytest.mark.parametrize("n", SIZES)
 def test_multiplication_sac_gbj(benchmark, measure, n):
     record, run_measured = measure
-    session, A, B = _sac_setup(n, group_by_join=True)
+    session, A, B, compiled = _sac_setup(n, group_by_join=True)
 
     def run():
         session.run(MULTIPLY, A=A, B=B, n=n, m=n).tiles.count()
 
     benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
     wall, sim, shuffled, counters = run_measured(session.engine, run)
+    counters.update(plan_report(compiled, session))
     record("fig4b-multiplication", "SAC GBJ (5.4)", n, wall, sim, shuffled, counters)
 
 
 @pytest.mark.parametrize("n", SIZES)
 def test_multiplication_sac_join_groupby(benchmark, measure, n):
     record, run_measured = measure
-    session, A, B = _sac_setup(n, group_by_join=False)
+    session, A, B, compiled = _sac_setup(n, group_by_join=False)
 
     def run():
         session.run(MULTIPLY, A=A, B=B, n=n, m=n).tiles.count()
 
     benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
     wall, sim, shuffled, counters = run_measured(session.engine, run)
+    counters.update(plan_report(compiled, session))
     record("fig4b-multiplication", "SAC join+group-by (5.3)", n, wall, sim, shuffled, counters)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_multiplication_sac_costbased(benchmark, measure, n):
+    """The cost-based default: the planner picks the strategy itself."""
+    record, run_measured = measure
+    session, A, B, compiled = _sac_setup(n, group_by_join=None)
+
+    def run():
+        session.run(MULTIPLY, A=A, B=B, n=n, m=n).tiles.count()
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    wall, sim, shuffled, counters = run_measured(session.engine, run)
+    counters.update(plan_report(compiled, session))
+    record("fig4b-multiplication", "SAC cost-based", n, wall, sim, shuffled, counters)
 
 
 @pytest.mark.parametrize("n", SIZES)
@@ -100,8 +123,8 @@ def test_multiplication_results_agree():
 
     n = SIZES[0]
     a, b = _arrays(n)
-    gbj_session, A1, B1 = _sac_setup(n, True)
-    jg_session, A2, B2 = _sac_setup(n, False)
+    gbj_session, A1, B1, _ = _sac_setup(n, True)
+    jg_session, A2, B2, _ = _sac_setup(n, False)
     engine = EngineContext()
     expected = a @ b
     np.testing.assert_allclose(

@@ -47,6 +47,9 @@ def test_factorization_sac(benchmark, measure, n):
 
     benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
     wall, sim, shuffled, counters = run_measured(session.engine, run)
+    # Iterative workload: every round after the first compiles each step
+    # comprehension from the session's plan cache.
+    counters["compile_caches"] = session.compile_stats()
     record("fig4c-factorization", "SAC (GBJ)", n, wall, sim, shuffled, counters)
 
 

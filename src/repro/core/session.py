@@ -20,6 +20,8 @@ running anything.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -33,6 +35,66 @@ from ..planner import Plan, PlannerOptions, plan_query
 from ..planner.codegen import explain as explain_plan
 from ..storage import TiledMatrix, TiledVector
 from ..storage.registry import REGISTRY, BuildContext
+
+
+class _LruCache:
+    """Bounded LRU cache with hit/miss/eviction counters (thread-safe).
+
+    Used for the session's parse and plan caches: iterative workloads
+    (k-means, matrix factorization) compile the same handful of queries
+    every step, so these stay tiny in practice; the bound only protects
+    long-lived sessions that stream many distinct queries.
+    """
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key):
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def __getitem__(self, key):
+        """Raw (non-counting, non-reordering) access, for introspection."""
+        return self._data[key]
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._data),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
 
 @dataclass
@@ -89,39 +151,115 @@ class SacSession:
             num_partitions=num_partitions,
         )
         # Iterative algorithms re-submit identical query text every step;
-        # parsing is pure, so cache the ASTs (desugar/normalize/planning
-        # depend on the environment and still run per call).
-        self._parse_cache: dict[str, Expr] = {}
+        # parsing is pure, so cache the ASTs, and the (parsed,
+        # normalized) pair is cached per storage signature of the
+        # bindings.  Planning always re-runs against the live
+        # environment, so a cached compile closes over fresh storages.
+        self._parse_cache = _LruCache(512)
+        self._plan_cache = _LruCache(256)
 
     def _parse_cached(self, query: str) -> Expr:
         cached = self._parse_cache.get(query)
         if cached is None:
             cached = parse(query)
-            if len(self._parse_cache) > 512:
-                self._parse_cache.clear()
-            self._parse_cache[query] = cached
+            self._parse_cache.put(query, cached)
         return cached
 
     # ------------------------------------------------------------------
 
-    def compile(self, query: str, env: Optional[dict[str, Any]] = None, **bindings: Any) -> CompiledQuery:
-        """Run the query through parse → desugar → normalize → plan."""
-        full_env = {**(env or {}), **bindings}
-        parsed = self._parse_cached(query)
-        fresh = FreshNames()
+    def _binding_signature(self, value: Any) -> Any:
+        """Hashable description of one binding for the plan-cache key.
 
-        def is_array(name: str) -> bool:
-            value = full_env.get(name)
-            return value is not None and (
-                REGISTRY.is_storage(value) or isinstance(value, RDD)
+        Captures everything the parse→normalize front half *and* the
+        rule dispatch depend on: whether the name is an array, its
+        storage class, tile shape, and how its tiles are partitioned.
+        Tile *contents* are deliberately excluded — plans are re-derived
+        against the live environment on every compile, cached or not.
+        """
+        if isinstance(value, RDD):
+            return ("rdd", value.num_partitions,
+                    self._partitioner_signature(value.partitioner))
+        if not REGISTRY.is_storage(value):
+            return ("scalar", type(value).__name__)
+        sig: tuple = (type(value).__name__,)
+        tiles = getattr(value, "tiles", None) or getattr(value, "blocks", None)
+        if isinstance(tiles, RDD):
+            sig += (tiles.num_partitions,
+                    self._partitioner_signature(tiles.partitioner))
+        for attr in ("rows", "cols", "length", "tile_size"):
+            dim = getattr(value, attr, None)
+            if isinstance(dim, int):
+                sig += (attr, dim)
+        return sig
+
+    @staticmethod
+    def _partitioner_signature(partitioner: Any) -> Any:
+        if partitioner is None:
+            return None
+        return (type(partitioner).__name__,) + tuple(
+            sorted((k, repr(v)) for k, v in vars(partitioner).items())
+        )
+
+    def _plan_cache_key(
+        self, query: str, full_env: dict[str, Any]
+    ) -> Optional[tuple]:
+        try:
+            bindings = tuple(
+                sorted(
+                    (name, self._binding_signature(value))
+                    for name, value in full_env.items()
+                )
             )
+            return (query, bindings)
+        except TypeError:  # unsortable/unhashable binding: skip the cache
+            return None
 
-        desugared = desugar(parsed, is_array=is_array, fresh=fresh)
-        normalized = normalize(desugared, fresh=fresh)
+    def compile(
+        self,
+        query: str,
+        env: Optional[dict[str, Any]] = None,
+        *,
+        cache: bool = True,
+        **bindings: Any,
+    ) -> CompiledQuery:
+        """Run the query through parse → desugar → normalize → plan.
+
+        The parse→normalize front half is cached per (query text,
+        binding storage signatures); pass ``cache=False`` to bypass.
+        Planning always re-runs so the plan closes over the storages
+        actually passed in — a cache hit produces a byte-identical
+        execution, just without re-deriving the tree.
+        """
+        full_env = {**(env or {}), **bindings}
+        key = self._plan_cache_key(query, full_env) if cache else None
+        cached = self._plan_cache.get(key) if key is not None else None
+        if cached is not None:
+            parsed, normalized = cached
+        else:
+            parsed = self._parse_cached(query)
+            fresh = FreshNames()
+
+            def is_array(name: str) -> bool:
+                value = full_env.get(name)
+                return value is not None and (
+                    REGISTRY.is_storage(value) or isinstance(value, RDD)
+                )
+
+            desugared = desugar(parsed, is_array=is_array, fresh=fresh)
+            normalized = normalize(desugared, fresh=fresh)
+            if key is not None:
+                self._plan_cache.put(key, (parsed, normalized))
         plan = plan_query(
             normalized, full_env, self.engine, self.build_context, self.options
         )
         return CompiledQuery(query, parsed, normalized, plan)
+
+    def compile_stats(self) -> dict[str, dict[str, int]]:
+        """Hit/miss/eviction counters for the parse and plan caches."""
+        return {
+            "parse_cache": self._parse_cache.stats(),
+            "plan_cache": self._plan_cache.stats(),
+        }
 
     def run(self, query: str, env: Optional[dict[str, Any]] = None, **bindings: Any) -> Any:
         """Compile and execute a query."""

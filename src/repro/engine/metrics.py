@@ -49,6 +49,10 @@ class JobMetrics:
     shuffles: int = 0
     shuffle_records: int = 0
     shuffle_bytes: int = 0
+    #: Cost-model prediction recorded when a plan with an estimate runs;
+    #: compared against the measured ``shuffle_bytes`` to validate the
+    #: planner's model (estimated-vs-actual).
+    estimated_shuffle_bytes: int = 0
     compute_seconds: float = 0.0
     wall_seconds: float = 0.0
     #: BlockManager counters: cached-partition reads served from memory,
@@ -67,6 +71,7 @@ class JobMetrics:
         self.shuffles += other.shuffles
         self.shuffle_records += other.shuffle_records
         self.shuffle_bytes += other.shuffle_bytes
+        self.estimated_shuffle_bytes += other.estimated_shuffle_bytes
         self.compute_seconds += other.compute_seconds
         self.wall_seconds += other.wall_seconds
         self.cache_hits += other.cache_hits
@@ -263,6 +268,11 @@ class MetricsRegistry:
         with self._lock:
             self.current.compute_seconds += seconds
 
+    def record_estimated_shuffle(self, nbytes: int) -> None:
+        """Record a plan's predicted shuffle volume (at execution time)."""
+        with self._lock:
+            self.current.estimated_shuffle_bytes += nbytes
+
     # -- BlockManager counters ------------------------------------------
 
     def record_cache_hit(self) -> None:
@@ -311,6 +321,7 @@ class MetricsRegistry:
         delta.shuffles -= snapshot.shuffles
         delta.shuffle_records -= snapshot.shuffle_records
         delta.shuffle_bytes -= snapshot.shuffle_bytes
+        delta.estimated_shuffle_bytes -= snapshot.estimated_shuffle_bytes
         delta.compute_seconds -= snapshot.compute_seconds
         delta.wall_seconds -= snapshot.wall_seconds
         delta.cache_hits -= snapshot.cache_hits

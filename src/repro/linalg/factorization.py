@@ -19,6 +19,12 @@ with learning rate γ and regularization λ (the paper uses γ = 0.002,
 * :func:`mllib_factorization_step` — the MLlib-workalike baseline,
   which must materialize ``Qᵀ`` and ``Eᵀ`` with explicit transposes and
   scale matrices by mapping over blocks, exactly as an MLlib user would.
+
+Each step submits the same query texts against same-shaped (fresh)
+storages, so after the first iteration every comprehension here
+compiles from the session's plan cache (see ``SacSession.compile``);
+the host loop pays rule dispatch only, never re-parsing or
+re-normalizing.
 """
 
 from __future__ import annotations

@@ -8,7 +8,15 @@ dispatch in :mod:`planner` and NumPy tile kernels in :mod:`kernels`.
 
 from .analysis import CompInfo, GenInfo, JoinCond, ReductionSlot, analyze
 from .codegen import explain
-from .kernels import KernelUnsupported, compile_vectorized, contract, gather
+from .cost import (
+    CostEstimate, CostModel, STRATEGY_BROADCAST_LEFT, STRATEGY_BROADCAST_RIGHT,
+    STRATEGY_COORDINATE, STRATEGY_REPLICATE, STRATEGY_TILED_REDUCE,
+    choose_strategy,
+)
+from .kernels import (
+    KernelUnsupported, compile_vectorized, compile_vectorized_cached, contract,
+    gather,
+)
 from .plan import (
     Plan, RULE_COORDINATE, RULE_GROUP_BY_JOIN, RULE_LOCAL, RULE_LOCAL_CODEGEN,
     RULE_PRESERVE_TILING, RULE_TILED_REDUCE, RULE_TILED_SHUFFLE,
@@ -17,11 +25,18 @@ from .planner import PlannerOptions, plan_query
 
 __all__ = [
     "CompInfo",
+    "CostEstimate",
+    "CostModel",
     "GenInfo",
     "JoinCond",
     "KernelUnsupported",
     "Plan",
     "PlannerOptions",
+    "STRATEGY_BROADCAST_LEFT",
+    "STRATEGY_BROADCAST_RIGHT",
+    "STRATEGY_COORDINATE",
+    "STRATEGY_REPLICATE",
+    "STRATEGY_TILED_REDUCE",
     "RULE_COORDINATE",
     "RULE_GROUP_BY_JOIN",
     "RULE_LOCAL",
@@ -31,7 +46,9 @@ __all__ = [
     "RULE_TILED_SHUFFLE",
     "ReductionSlot",
     "analyze",
+    "choose_strategy",
     "compile_vectorized",
+    "compile_vectorized_cached",
     "contract",
     "explain",
     "gather",

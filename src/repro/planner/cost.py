@@ -1,0 +1,322 @@
+"""Cost model for physical plan selection (the planner's optimizer).
+
+The paper's Figure 4 hinges on *which* physical plan runs: the
+group-by-join (SUMMA) multiply beats MLlib while the naive 5.3
+join+group-by loses to it, and the broadcast map-side join beats both
+when one side is small (the factorization's rank-k factors).  Instead of
+static knobs, :class:`CostModel` estimates — per candidate strategy —
+how many bytes cross the network, how many tasks launch, and how well
+the contraction parallelizes, all from the tile grids, the storages'
+partition counts, and the :class:`~repro.engine.cluster.ClusterSpec`.
+``_plan_comp`` picks the cheapest candidate; ``explain()`` reports every
+candidate so a choice can be audited.
+
+The shuffle-byte formulas mirror the engine's measured accounting
+(``engine.serialization``): dense payload bytes plus a per-record
+envelope.  With N×N tiles over an n×l × l×m product (grids gr, gk, gc):
+
+* **replicate** (5.4): every A-tile is sent to gc result columns and
+  every B-tile to gr result rows — ``|A|·gc + |B|·gr`` bytes, one
+  cogroup shuffle, reduce side on ``min(parallelism, gr·gc)`` grid
+  partitions.
+* **tiled-reduce** (5.3, "naive"): the tile join shuffles ``|A| + |B|``
+  bytes, then one partial product per (i,k,j) triple is merged with
+  reduceByKey; map-side combining collapses the gk copies of each
+  result tile down to one per *join partition holding a distinct k*, so
+  ``|C|·min(gk, join partitions)`` bytes shuffle.  The join key is the
+  shared dimension — only gk distinct values — so the contraction runs
+  on at most gk cores: the skew the paper blames for 5.3's slowness.
+* **broadcast** (map-side join): the small side is collected and copied
+  to every executor (driver→executor traffic, not shuffle), the large
+  side contracts in place, and partial result tiles merge with
+  reduceByKey — ``|C|·min(gk, large partitions)`` shuffle bytes.
+
+Compute is charged as ``2·n·l·m`` flops at a fixed local-GEMM rate plus
+a per-contraction call overhead, scaled by the cluster's
+``compute_scale`` and divided by the strategy's *effective* parallelism
+(the skew term).  Sparse inputs are currently costed at density 1.0 — a
+dense upper bound; density-aware costing is a ROADMAP item.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..engine.cluster import ClusterSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .groupby_join import GbjMatch
+    from .tiling import TiledSetup
+
+#: Bytes per float64 element inside a tile.
+ELEMENT_BYTES = 8
+#: Per-record envelope: key tuples, the join-coordinate int, container
+#: headers and the shuffle's record overhead (see engine.serialization;
+#: a tile record measures ~50-60 bytes beyond its payload).
+TILE_RECORD_OVERHEAD = 64
+#: Bytes per shuffled element-level record on the coordinate path
+#: (an ((i, j), v) pair of smallints and a float).
+COORD_RECORD_BYTES = 48
+#: Throughput the model assumes for the measured (local NumPy) tile
+#: contraction, in flops per second of *measured* compute.  The engine's
+#: einsum-based ``contract`` runs below raw BLAS gemm speed; the exact
+#: value matters little for plan choice because every dense candidate
+#: does the same flops — only the parallelism divisor differs.
+LOCAL_CONTRACT_FLOPS = 2.0e10
+#: Python-level overhead per tile-pair contraction call.
+CONTRACT_CALL_SECONDS = 5e-5
+#: Interpreter cost per element record on the coordinate path.
+COORD_ELEMENT_SECONDS = 2e-6
+
+#: Candidate strategy names (details["strategy"] / explain keys).
+STRATEGY_REPLICATE = "gbj-replicate"
+STRATEGY_BROADCAST_LEFT = "gbj-broadcast-left"
+STRATEGY_BROADCAST_RIGHT = "gbj-broadcast-right"
+STRATEGY_TILED_REDUCE = "tiled-reduce"
+STRATEGY_COORDINATE = "coordinate"
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted cost of one candidate physical strategy."""
+
+    strategy: str
+    #: Bytes the engine's shuffle accountant should measure.
+    shuffle_bytes: int
+    shuffle_records: int
+    #: Driver→executor traffic (collect + broadcast); charged to network
+    #: time but *not* to shuffle_bytes, matching the engine's counters.
+    broadcast_bytes: int
+    tasks: int
+    #: Cores the dominant stage can actually keep busy (the skew term).
+    effective_parallelism: int
+    #: Recommended reduce-side partition count for the strategy.
+    reduce_partitions: int
+    compute_seconds: float
+    network_seconds: float
+    launch_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.network_seconds + self.launch_seconds
+
+    def summary(self) -> str:
+        return (
+            f"{self.strategy}: {self.shuffle_bytes / 1e6:.2f}MB shuffle "
+            f"({self.shuffle_records} records), "
+            f"{self.broadcast_bytes / 1e6:.2f}MB broadcast, "
+            f"{self.tasks} tasks on {self.effective_parallelism} cores "
+            f"-> {self.total_seconds * 1e3:.2f}ms est"
+        )
+
+
+class CostModel:
+    """Estimates candidate costs for one group-by-join-shaped query."""
+
+    def __init__(self, cluster: ClusterSpec, default_parallelism: int):
+        self.cluster = cluster
+        self.parallelism = default_parallelism
+
+    # -- shared quantities ------------------------------------------------
+
+    def _gen_stats(self, gen) -> tuple[int, int, int]:
+        """(payload bytes, tile count, RDD partitions) of a generator."""
+        elements = 1
+        tiles = 1
+        for dim in gen.axis_dims:
+            elements *= dim
+            tiles *= math.ceil(dim / gen.storage.tile_size)
+        # Sparse storages hold fewer tiles; without an up-front count we
+        # cost them densely (an upper bound; see module docstring).
+        partitions = max(1, gen.tiles.num_partitions)
+        return elements * ELEMENT_BYTES, tiles, partitions
+
+    def _compute(self, flops: float, calls: int, parallelism: int) -> float:
+        parallelism = max(1, parallelism)
+        seconds = flops / LOCAL_CONTRACT_FLOPS + calls * CONTRACT_CALL_SECONDS
+        return seconds * self.cluster.compute_scale / parallelism
+
+    def _launch(self, *stage_tasks: int) -> float:
+        cores = max(1, self.cluster.total_cores)
+        return self.cluster.task_launch_overhead * sum(
+            math.ceil(tasks / cores) for tasks in stage_tasks if tasks
+        )
+
+    # -- candidates -------------------------------------------------------
+
+    def candidates(
+        self, setup: "TiledSetup", match: "GbjMatch"
+    ) -> dict[str, CostEstimate]:
+        """Every strategy's estimate for a matched group-by-join."""
+        out = {
+            STRATEGY_REPLICATE: self.replicate(setup, match),
+            STRATEGY_BROADCAST_LEFT: self.broadcast(setup, match, "left"),
+            STRATEGY_BROADCAST_RIGHT: self.broadcast(setup, match, "right"),
+            STRATEGY_TILED_REDUCE: self.tiled_reduce(setup, match),
+            STRATEGY_COORDINATE: self.coordinate(setup, match),
+        }
+        return out
+
+    def replicate(self, setup: "TiledSetup", match: "GbjMatch") -> CostEstimate:
+        """Section 5.4: SUMMA-style row/column band replication."""
+        left_bytes, left_tiles, left_parts = self._gen_stats(match.left_gen)
+        right_bytes, right_tiles, right_parts = self._gen_stats(match.right_gen)
+        gr, gc = match.grid_rows, match.grid_cols
+        records = left_tiles * gc + right_tiles * gr
+        shuffle_bytes = (
+            left_bytes * gc + right_bytes * gr + records * TILE_RECORD_OVERHEAD
+        )
+        reduce_partitions = min(self.parallelism, gr * gc)
+        parallel = min(self.cluster.total_cores, reduce_partitions)
+        tasks = left_parts + right_parts + reduce_partitions
+        return CostEstimate(
+            strategy=STRATEGY_REPLICATE,
+            shuffle_bytes=shuffle_bytes,
+            shuffle_records=records,
+            broadcast_bytes=0,
+            tasks=tasks,
+            effective_parallelism=parallel,
+            reduce_partitions=reduce_partitions,
+            compute_seconds=self._compute(
+                match.flops, gr * gc * match.grid_join, parallel
+            ),
+            network_seconds=shuffle_bytes / self.cluster.network_bandwidth,
+            launch_seconds=self._launch(
+                left_parts + right_parts, reduce_partitions
+            ),
+        )
+
+    def tiled_reduce(self, setup: "TiledSetup", match: "GbjMatch") -> CostEstimate:
+        """Section 5.3: tile join + one partial product per (i,k,j)."""
+        left_bytes, left_tiles, left_parts = self._gen_stats(match.left_gen)
+        right_bytes, right_tiles, right_parts = self._gen_stats(match.right_gen)
+        gr, gc, gk = match.grid_rows, match.grid_cols, match.grid_join
+        join_parts = max(left_parts, right_parts)
+        join_records = left_tiles + right_tiles
+        join_bytes = left_bytes + right_bytes + join_records * TILE_RECORD_OVERHEAD
+        # Map-side combine merges the gk partials of a result tile only
+        # within one join partition; distinct join keys land in distinct
+        # partitions (gk ≤ partitions in practice), so one copy of the
+        # result survives per partition holding a distinct k.
+        copies = min(gk, join_parts)
+        partial_records = gr * gc * copies
+        partial_bytes = (
+            match.result_bytes * copies + partial_records * TILE_RECORD_OVERHEAD
+        )
+        shuffle_bytes = join_bytes + partial_bytes
+        # The join key is the shared dimension: gk distinct values, so
+        # the whole contraction runs on at most gk cores (key skew).
+        parallel = min(self.cluster.total_cores, min(gk, join_parts))
+        tasks = left_parts + right_parts + 2 * join_parts
+        return CostEstimate(
+            strategy=STRATEGY_TILED_REDUCE,
+            shuffle_bytes=shuffle_bytes,
+            shuffle_records=join_records + partial_records,
+            broadcast_bytes=0,
+            tasks=tasks,
+            effective_parallelism=parallel,
+            reduce_partitions=join_parts,
+            compute_seconds=self._compute(
+                match.flops, gr * gc * gk, parallel
+            ),
+            network_seconds=shuffle_bytes / self.cluster.network_bandwidth,
+            launch_seconds=self._launch(
+                left_parts + right_parts, join_parts, join_parts
+            ),
+        )
+
+    def broadcast(
+        self, setup: "TiledSetup", match: "GbjMatch", side: str
+    ) -> CostEstimate:
+        """Map-side join: collect+broadcast one side, stream the other."""
+        small_gen = match.left_gen if side == "left" else match.right_gen
+        large_gen = match.right_gen if side == "left" else match.left_gen
+        small_bytes, small_tiles, _small_parts = self._gen_stats(small_gen)
+        _large_bytes, _large_tiles, large_parts = self._gen_stats(large_gen)
+        gr, gc, gk = match.grid_rows, match.grid_cols, match.grid_join
+        # One collect to the driver plus one copy per executor.
+        broadcast_bytes = small_bytes * (1 + self.cluster.num_executors)
+        # The large side's partials rarely share a partition (one result
+        # key per (large tile, small tile) pair), so map-side combining
+        # collapses at best to one copy per large partition.
+        copies = min(gk, large_parts)
+        records = gr * gc * copies
+        shuffle_bytes = match.result_bytes * copies + records * TILE_RECORD_OVERHEAD
+        reduce_partitions = min(self.parallelism, gr * gc)
+        parallel = min(self.cluster.total_cores, large_parts)
+        strategy = (
+            STRATEGY_BROADCAST_LEFT if side == "left" else STRATEGY_BROADCAST_RIGHT
+        )
+        return CostEstimate(
+            strategy=strategy,
+            shuffle_bytes=shuffle_bytes,
+            shuffle_records=records,
+            broadcast_bytes=broadcast_bytes,
+            tasks=large_parts + reduce_partitions + small_tiles,
+            effective_parallelism=parallel,
+            reduce_partitions=reduce_partitions,
+            compute_seconds=self._compute(
+                match.flops, gr * gc * gk, parallel
+            ),
+            network_seconds=(
+                (shuffle_bytes + broadcast_bytes) / self.cluster.network_bandwidth
+            ),
+            launch_seconds=self._launch(large_parts, reduce_partitions),
+        )
+
+    def coordinate(self, setup: "TiledSetup", match: "GbjMatch") -> CostEstimate:
+        """Section 4's element-level fallback, for the explain report.
+
+        Every element becomes one shuffled record in the join and in the
+        group-by; the interpreter touches each pair individually.  This
+        is orders of magnitude above the tiled plans — it is listed so
+        ``explain`` shows what tiling buys, never auto-chosen when a
+        tiled plan exists.
+        """
+        left_elems = 1
+        for dim in match.left_gen.axis_dims:
+            left_elems *= dim
+        right_elems = 1
+        for dim in match.right_gen.axis_dims:
+            right_elems *= dim
+        result_elems = match.result_bytes // ELEMENT_BYTES
+        # Join output: one record per multiplied pair, grouped afterwards.
+        join_dim = setup.class_dim[match.join_class]
+        pairs = result_elems * join_dim
+        records = left_elems + right_elems + pairs
+        shuffle_bytes = records * COORD_RECORD_BYTES
+        cores = max(1, self.cluster.total_cores)
+        return CostEstimate(
+            strategy=STRATEGY_COORDINATE,
+            shuffle_bytes=shuffle_bytes,
+            shuffle_records=records,
+            broadcast_bytes=0,
+            tasks=3 * self.parallelism,
+            effective_parallelism=cores,
+            reduce_partitions=self.parallelism,
+            compute_seconds=(
+                records * COORD_ELEMENT_SECONDS * self.cluster.compute_scale / cores
+            ),
+            network_seconds=shuffle_bytes / self.cluster.network_bandwidth,
+            launch_seconds=self._launch(
+                self.parallelism, self.parallelism, self.parallelism
+            ),
+        )
+
+
+def choose_strategy(
+    candidates: dict[str, CostEstimate],
+    allowed: Optional[list[str]] = None,
+) -> str:
+    """The cheapest allowed strategy; ties break toward the earlier entry
+    (replicate — the paper's preferred SUMMA plan — is listed first)."""
+    order = allowed or [
+        STRATEGY_REPLICATE,
+        STRATEGY_BROADCAST_LEFT,
+        STRATEGY_BROADCAST_RIGHT,
+        STRATEGY_TILED_REDUCE,
+    ]
+    viable = [name for name in order if name in candidates]
+    return min(viable, key=lambda name: candidates[name].total_seconds)

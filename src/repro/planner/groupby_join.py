@@ -16,27 +16,92 @@ blocks and each B-tile across the result's row blocks, cogroups on the
 accumulating directly into one output tile.  This generalizes the SUMMA
 algorithm; total shuffle volume is ``|A|·m/N + |B|·n/N`` tiles instead
 of ``n·l·m/N³`` partial products.
+
+Matching and building are split so the planner can *cost* the
+candidates first: :func:`match_group_by_join` recognizes the pattern
+and returns a :class:`GbjMatch` carrying the quantities the cost model
+needs (grids, dimensions, partition counts via the generators), then
+:func:`build_replicate_plan` / :func:`build_broadcast_plan` emit the
+chosen physical plan.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from ..comprehension.ast import Var, free_vars, to_source
-from ..comprehension.monoids import monoid
+from ..comprehension.monoids import Monoid, monoid
 from ..engine import GridPartitioner
 from .kernels import combine_tiles, contract
 from .plan import Plan, RULE_GROUP_BY_JOIN
-from .tiling import TiledSetup, _out_classes, _result_storage
+from .tiling import ResolvedGen, TiledSetup, _out_classes, _result_storage
+
+#: Bytes per float64 element (kept in sync with cost.ELEMENT_BYTES).
+_ELEMENT_BYTES = 8
 
 
-def plan_group_by_join(
-    setup: TiledSetup, builder: str, args: tuple,
-    broadcast_threshold: int = 0,
-) -> Optional[Plan]:
-    """Match and translate the group-by-join pattern; None if not a GBJ."""
+@dataclass
+class GbjMatch:
+    """A recognized group-by-join, plus the shape facts the cost model uses.
+
+    ``left_gen`` owns the result's row dimension and ``right_gen`` the
+    column dimension (generators are swapped during matching if the
+    group key listed them the other way around).
+    """
+
+    left_gen: ResolvedGen
+    right_gen: ResolvedGen
+    #: Axis positions: result-row axis and join axis of the left
+    #: generator; result-column axis and join axis of the right.
+    left_row_axis: int
+    left_join_axis: int
+    right_col_axis: int
+    right_join_axis: int
+    #: Einsum-style axis names for :func:`~repro.planner.kernels.contract`.
+    left_axes: tuple[str, ...]
+    right_axes: tuple[str, ...]
+    out_axes: tuple[str, str]
+    #: Index classes of the result's dimensions and of the join.
+    row_class: int
+    col_class: int
+    join_class: int
+    #: Tile grids: result rows/cols and the contracted dimension.
+    grid_rows: int
+    grid_cols: int
+    grid_join: int
+    #: The aggregated term h(a, b) and its monoid.
+    term: object
+    mon: Monoid
+    value_vars: tuple[str, str]
+    #: Logical dimensions (elements, not tiles).
+    row_dim: int = 0
+    col_dim: int = 0
+    join_dim: int = 0
+
+    @property
+    def flops(self) -> float:
+        """Dense contraction work: two flops per multiply-add."""
+        return 2.0 * self.row_dim * self.join_dim * self.col_dim
+
+    @property
+    def result_bytes(self) -> int:
+        """Dense payload bytes of the full result."""
+        return self.row_dim * self.col_dim * _ELEMENT_BYTES
+
+    def tile_count(self, side: str) -> int:
+        """Stored tile count of one side (for broadcast thresholds)."""
+        gen = self.left_gen if side == "left" else self.right_gen
+        storage = gen.storage
+        if hasattr(storage, "grid_rows"):
+            return storage.grid_rows * storage.grid_cols
+        return storage.grid_size
+
+
+def match_group_by_join(setup: TiledSetup) -> Optional[GbjMatch]:
+    """Recognize the group-by-join pattern; None if it does not apply."""
     info = setup.info
     if info.group_key_vars is None or info.post_group_quals:
         return None
@@ -86,8 +151,7 @@ def plan_group_by_join(
         return None  # non-identity f is handled by the 5.3 rule
 
     row_class, col_class = out_classes
-    grid_rows = setup.grid_size(row_class)
-    grid_cols = setup.grid_size(col_class)
+    join_class = setup.classes[kx.name]
 
     left_row_axis = left_gen.index_vars.index(gx.name if gx.name in left_gen.index_vars else gy.name)
     left_join_axis = left_gen.index_vars.index(kx.name)
@@ -98,31 +162,42 @@ def plan_group_by_join(
     left_axes = tuple(class_names[c] for c in left_gen.axis_classes)
     right_axes = tuple(class_names[c] for c in right_gen.axis_classes)
     out_axes = (class_names[row_class], class_names[col_class])
-    term = slot.expr
 
-    # Map-side-join extension: broadcast a small side instead of
-    # replicating both (see PlannerOptions.broadcast_threshold).
-    if broadcast_threshold > 0:
-        def tile_count(gen):
-            storage = gen.storage
-            if hasattr(storage, "grid_rows"):
-                return storage.grid_rows * storage.grid_cols
-            return storage.grid_size
+    return GbjMatch(
+        left_gen=left_gen,
+        right_gen=right_gen,
+        left_row_axis=left_row_axis,
+        left_join_axis=left_join_axis,
+        right_col_axis=right_col_axis,
+        right_join_axis=right_join_axis,
+        left_axes=left_axes,
+        right_axes=right_axes,
+        out_axes=out_axes,
+        row_class=row_class,
+        col_class=col_class,
+        join_class=join_class,
+        grid_rows=setup.grid_size(row_class),
+        grid_cols=setup.grid_size(col_class),
+        grid_join=setup.grid_size(join_class),
+        term=slot.expr,
+        mon=mon,
+        value_vars=(value_vars[0], value_vars[1]),
+        row_dim=setup.class_dim[row_class],
+        col_dim=setup.class_dim[col_class],
+        join_dim=setup.class_dim[join_class],
+    )
 
-        left_tiles = tile_count(left_gen)
-        right_tiles = tile_count(right_gen)
-        small, large, small_is_left = None, None, True
-        if right_tiles <= broadcast_threshold:
-            small, large, small_is_left = right_gen, left_gen, False
-        elif left_tiles <= broadcast_threshold:
-            small, large, small_is_left = left_gen, right_gen, True
-        if small is not None:
-            return _broadcast_plan(
-                setup, builder, args, small, large, small_is_left,
-                left_gen, right_gen,
-                (left_row_axis, left_join_axis, right_col_axis, right_join_axis),
-                (left_axes, right_axes, out_axes), term, mon, value_vars,
-            )
+
+def build_replicate_plan(
+    setup: TiledSetup, match: GbjMatch, builder: str, args: tuple
+) -> Plan:
+    """The SUMMA-style translation: replicate row/column tile bands."""
+    left_gen, right_gen = match.left_gen, match.right_gen
+    grid_rows, grid_cols = match.grid_rows, match.grid_cols
+    left_row_axis, left_join_axis = match.left_row_axis, match.left_join_axis
+    right_col_axis, right_join_axis = match.right_col_axis, match.right_join_axis
+    left_axes, right_axes, out_axes = match.left_axes, match.right_axes, match.out_axes
+    term, mon, value_vars = match.term, match.mon, match.value_vars
 
     def replicate_left(record):
         coords, tile = record
@@ -187,24 +262,27 @@ def plan_group_by_join(
     )
 
 
-def _broadcast_plan(
+def build_broadcast_plan(
     setup: TiledSetup,
+    match: GbjMatch,
     builder: str,
     args: tuple,
-    small,
-    large,
-    small_is_left: bool,
-    left_gen,
-    right_gen,
-    axes_positions: tuple[int, int, int, int],
-    contract_axes,
-    term,
-    mon,
-    value_vars,
+    side: str,
+    reduce_partitions: Optional[int] = None,
 ) -> Plan:
-    """Map-side join: broadcast the small side, stream the large side."""
-    left_row_axis, left_join_axis, right_col_axis, right_join_axis = axes_positions
-    left_axes, right_axes, out_axes = contract_axes
+    """Map-side join: broadcast the small ``side``, stream the large side.
+
+    ``reduce_partitions`` is the cost model's recommended partition
+    count for the final reduceByKey (defaults to the large side's
+    partitioning when omitted).
+    """
+    small_is_left = side == "left"
+    small = match.left_gen if small_is_left else match.right_gen
+    large = match.right_gen if small_is_left else match.left_gen
+    left_row_axis, left_join_axis = match.left_row_axis, match.left_join_axis
+    right_col_axis, right_join_axis = match.right_col_axis, match.right_join_axis
+    left_axes, right_axes, out_axes = match.left_axes, match.right_axes, match.out_axes
+    term, mon, value_vars = match.term, match.mon, match.value_vars
 
     def build():
         engine = large.tiles.ctx
@@ -248,11 +326,13 @@ def _broadcast_plan(
         tiles_rdd = (
             large.tile_records()
             .flat_map(contract_large)
-            .reduce_by_key(lambda a, b: combine_tiles(mon, a, b))
+            .reduce_by_key(
+                lambda a, b: combine_tiles(mon, a, b),
+                num_partitions=reduce_partitions,
+            )
         )
         return _result_storage(setup, builder, args, tiles_rdd)
 
-    side = "left" if small_is_left else "right"
     return Plan(
         rule=RULE_GROUP_BY_JOIN,
         description=(

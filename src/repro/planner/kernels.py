@@ -126,6 +126,26 @@ def compile_vectorized(expr: Expr) -> Kernel:
     raise KernelUnsupported(f"expression {type(expr).__name__}")
 
 
+#: Attribute memoizing compiled kernels on the (frozen, immutable) AST
+#: node: iterative workloads re-plan the same normalized tree every
+#: step, and a kernel depends only on the expression.
+_KERNEL_MEMO = "_sac_kernel_memo"
+
+
+def compile_vectorized_cached(expr: Expr) -> Kernel:
+    """:func:`compile_vectorized` memoized on the node (failures too)."""
+    memo = getattr(expr, _KERNEL_MEMO, None)
+    if memo is None:
+        try:
+            memo = compile_vectorized(expr)
+        except KernelUnsupported as exc:
+            memo = exc
+        object.__setattr__(expr, _KERNEL_MEMO, memo)
+    if isinstance(memo, KernelUnsupported):
+        raise memo
+    return memo
+
+
 # ----------------------------------------------------------------------
 # Tile realignment
 # ----------------------------------------------------------------------
@@ -194,7 +214,7 @@ def contract(
     if term is None:
         values = left_b * right_b
     else:
-        kernel = compile_vectorized(term)
+        kernel = compile_vectorized_cached(term)
         values = kernel({value_vars[0]: left_b, value_vars[1]: right_b})
     if mon.np_combine is None:
         raise KernelUnsupported(f"monoid {mon.name!r} has no ufunc")

@@ -10,7 +10,10 @@ example, independent of the numeric result.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .cost import CostEstimate
 
 #: Rule identifiers, named after the paper's sections.
 RULE_LOCAL = "local"                       # Sections 2-3, interpreter
@@ -31,6 +34,11 @@ class Plan:
     thunk: Callable[[], Any]
     pseudocode: str = ""
     details: dict[str, Any] = field(default_factory=dict)
+    #: Cost-model prediction for the chosen strategy, when the planner
+    #: ran candidate selection (group-by-join-shaped queries).
+    estimate: Optional["CostEstimate"] = None
+    #: Every candidate's estimate, keyed by strategy name.
+    candidates: dict[str, "CostEstimate"] = field(default_factory=dict)
 
     def execute(self) -> Any:
         """Run the plan and return the built storage/value."""
@@ -42,6 +50,16 @@ class Plan:
         if self.details:
             for key, value in sorted(self.details.items()):
                 lines.append(f"{key}: {value}")
+        if self.candidates:
+            lines.append("cost estimates (chosen first):")
+            chosen = self.estimate.strategy if self.estimate else None
+            ordered = sorted(
+                self.candidates.values(),
+                key=lambda est: (est.strategy != chosen, est.total_seconds),
+            )
+            for est in ordered:
+                marker = "*" if est.strategy == chosen else " "
+                lines.append(f"  {marker} {est.summary()}")
         if self.pseudocode:
             lines.append("generated program:")
             lines.extend("  " + line for line in self.pseudocode.splitlines())

@@ -3,17 +3,21 @@
 Order of preference for a tiled-builder comprehension over tiled inputs
 (mirroring the paper's Section 5):
 
-1. group-by-join (5.4) — when enabled and the pattern matches;
+1. group-by-join family (5.4) — when the pattern matches, the *cost
+   model* (:mod:`repro.planner.cost`) picks the cheapest of SUMMA
+   replication, broadcasting either side, or the 5.3 join+group-by;
 2. tiled reduce (5.3) — group-by with combinable aggregations;
 3. preserve-tiling (5.1) — no group-by, aligned output;
 4. tiled shuffle (5.2) — no group-by, computed output indices;
 5. coordinate (Section 4, Rules 13/14) — the element-level fallback;
 6. local — the reference interpreter (always correct).
 
-``PlannerOptions`` exposes the ablation switches the benchmarks use:
+``PlannerOptions`` exposes overrides for the ablations:
 ``group_by_join=False`` reproduces the paper's "SAC" (join + group-by)
-multiplication, ``force_coordinate=True`` reproduces the coordinate-
-format execution of the earlier DIABLO system.
+multiplication, ``group_by_join=True`` forces SUMMA replication,
+``force_coordinate=True`` reproduces the coordinate-format execution of
+the earlier DIABLO system; the default (``None``) lets the cost model
+decide.
 """
 
 from __future__ import annotations
@@ -32,7 +36,13 @@ from ..storage.registry import BuildContext
 from ..storage.sparse_tiled import SparseTiledMatrix
 from ..storage.tiled import TiledMatrix, TiledVector
 from .analysis import analyze
-from .groupby_join import plan_group_by_join
+from .cost import (
+    STRATEGY_BROADCAST_LEFT, STRATEGY_BROADCAST_RIGHT, STRATEGY_REPLICATE,
+    STRATEGY_TILED_REDUCE, CostEstimate, CostModel, choose_strategy,
+)
+from .groupby_join import (
+    GbjMatch, build_broadcast_plan, build_replicate_plan, match_group_by_join,
+)
 from .plan import Plan, RULE_LOCAL
 from .rdd_rules import plan_coordinate
 from .tiling import (
@@ -43,19 +53,26 @@ from .tiling import (
 
 @dataclass
 class PlannerOptions:
-    """Switches controlling rule selection (used by the ablations).
+    """Overrides controlling rule selection (used by the ablations).
 
-    ``broadcast_threshold`` is an extension beyond the paper: when > 0
-    and one side of a group-by-join has at most that many tiles, the
+    ``group_by_join``: ``None`` (default) lets the cost model pick the
+    cheapest group-by-join strategy (SUMMA replication, broadcasting one
+    side, or the 5.3 join+group-by); ``True`` forces SUMMA replication
+    (the pre-cost-model default); ``False`` forces the 5.3 translation.
+
+    ``broadcast_threshold`` is an extension beyond the paper: when set
+    > 0 and one side of a group-by-join has at most that many tiles, the
     whole side is broadcast to every task instead of SUMMA-replicated —
     the standard Spark map-side-join optimization, profitable for tall
-    skinny factors (e.g. the factorization's rank-k matrices).
+    skinny factors (e.g. the factorization's rank-k matrices).  It is a
+    hard override; ``0`` forbids broadcasting even in cost-based mode,
+    and ``None`` (default) leaves the choice to the cost model.
     """
 
-    group_by_join: bool = True
+    group_by_join: Optional[bool] = None
     force_coordinate: bool = False
     allow_tiled: bool = True
-    broadcast_threshold: int = 0
+    broadcast_threshold: Optional[int] = None
 
 
 _DISTRIBUTED_BUILDERS = {"tiled", "tiled_vector", "rdd"}
@@ -95,6 +112,8 @@ def plan_query(
                     thunk=reduce_thunk,
                     pseudocode=plan.pseudocode,
                     details=plan.details,
+                    estimate=plan.estimate,
+                    candidates=plan.candidates,
                 )
         return _local_plan(expr, env, build_context)
 
@@ -109,6 +128,8 @@ def plan_query(
                     thunk=lambda: inner_thunk().collect(),
                     pseudocode=plan.pseudocode,
                     details=plan.details,
+                    estimate=plan.estimate,
+                    candidates=plan.candidates,
                 )
         return _local_plan(expr, env, build_context)
 
@@ -139,6 +160,29 @@ def _plan_builder_comp(
     return _local_plan(expr, env, build_context)
 
 
+#: Attribute memoizing ``analyze`` on the (immutable) normalized node,
+#: so a plan-cache hit re-plans without re-deriving the analysis.
+_ANALYSIS_MEMO = "_sac_analysis_memo"
+
+
+def _analyze_cached(comp: Comprehension):
+    """``analyze(comp)`` memoized on the AST node itself.
+
+    Nodes are frozen dataclasses and rewrites build new trees, so the
+    analysis of one node never goes stale; negative results (plan
+    errors) are memoized too.  Concurrent compiles may race to compute
+    the same value — the write is idempotent, so last-wins is fine.
+    """
+    memo = getattr(comp, _ANALYSIS_MEMO, None)
+    if memo is None:
+        try:
+            memo = analyze(comp)
+        except SacPlanError as exc:
+            memo = exc
+        object.__setattr__(comp, _ANALYSIS_MEMO, memo)
+    return None if isinstance(memo, SacPlanError) else memo
+
+
 def _plan_comp(
     comp: Comprehension,
     env: dict[str, Any],
@@ -148,9 +192,8 @@ def _plan_comp(
     builder: Optional[str],
     args: tuple,
 ) -> Optional[Plan]:
-    try:
-        info = analyze(comp)
-    except SacPlanError:
+    info = _analyze_cached(comp)
+    if info is None:
         return None
 
     if not options.force_coordinate and options.allow_tiled and builder in (
@@ -163,20 +206,18 @@ def _plan_comp(
             if isinstance(value, (int, float, bool))
         }
         setup = resolve_tiled(info, env, const_env)
+        if setup is not None:
+            # The setup carries a guard-pruned copy of the analysis; use
+            # it for the fallback too (the shared memoized CompInfo must
+            # stay pristine for other storages' compiles).
+            info = setup.info
         if setup is not None and not sparse_gens_sound(setup):
             setup = None  # sparse semantics need the coordinate path
         if setup is not None:
             if info.group_key_vars is not None:
-                if options.group_by_join:
-                    plan = plan_group_by_join(
-                        setup, builder, args,
-                        broadcast_threshold=options.broadcast_threshold,
-                    )
-                    if plan is not None:
-                        return plan
-                plan = plan_tiled_reduce(setup, builder, args)
+                plan = _plan_group_by(setup, engine, options, builder, args)
                 if plan is not None:
-                    return plan
+                    return _record_estimate(plan, engine)
             else:
                 plan = plan_preserve(setup, builder, args)
                 if plan is not None:
@@ -186,6 +227,108 @@ def _plan_comp(
                     return plan
 
     return plan_coordinate(info, env, engine, builder, args, build_context)
+
+
+def _plan_group_by(
+    setup,
+    engine: EngineContext,
+    options: PlannerOptions,
+    builder: str,
+    args: tuple,
+) -> Optional[Plan]:
+    """Cost-based selection among the group-by strategies.
+
+    When the group-by-join pattern matches, every candidate (SUMMA
+    replication, broadcasting either side, the 5.3 join+group-by) is
+    costed against the engine's cluster spec and the cheapest one is
+    built — unless an explicit override (``group_by_join``,
+    ``broadcast_threshold``) forces a strategy.  The estimates are
+    attached to the plan for ``explain`` and the estimated-vs-actual
+    shuffle counters.
+    """
+    match = match_group_by_join(setup)
+    candidates: dict[str, CostEstimate] = {}
+    if match is not None:
+        model = CostModel(engine.cluster, engine.default_parallelism)
+        candidates = model.candidates(setup, match)
+        strategy = _choose_gbj_strategy(options, match, candidates)
+        plan: Optional[Plan] = None
+        if strategy == STRATEGY_REPLICATE:
+            plan = build_replicate_plan(setup, match, builder, args)
+        elif strategy in (STRATEGY_BROADCAST_LEFT, STRATEGY_BROADCAST_RIGHT):
+            side = "left" if strategy == STRATEGY_BROADCAST_LEFT else "right"
+            plan = build_broadcast_plan(
+                setup, match, builder, args, side,
+                reduce_partitions=candidates[strategy].reduce_partitions,
+            )
+        if plan is not None:
+            return _attach_estimates(plan, strategy, candidates)
+
+    plan = plan_tiled_reduce(setup, builder, args)
+    if plan is None and match is not None and options.group_by_join is not False:
+        # The 5.3 rule has preconditions (e.g. on the head key) the
+        # group-by-join does not; fall back to the always-buildable
+        # SUMMA plan rather than dropping to the coordinate path.
+        plan = build_replicate_plan(setup, match, builder, args)
+        return _attach_estimates(plan, STRATEGY_REPLICATE, candidates)
+    if plan is not None and candidates:
+        _attach_estimates(plan, STRATEGY_TILED_REDUCE, candidates)
+    return plan
+
+
+def _choose_gbj_strategy(
+    options: PlannerOptions,
+    match,
+    candidates: dict[str, CostEstimate],
+) -> str:
+    """Apply the option overrides, else ask the cost model."""
+    if options.group_by_join is False:
+        return STRATEGY_TILED_REDUCE
+    threshold = options.broadcast_threshold
+    if threshold is not None and threshold > 0:
+        # Legacy gating override: broadcast whichever side fits under the
+        # threshold (right side preferred, matching the original
+        # implementation), SUMMA replication otherwise.
+        if match.tile_count("right") <= threshold:
+            return STRATEGY_BROADCAST_RIGHT
+        if match.tile_count("left") <= threshold:
+            return STRATEGY_BROADCAST_LEFT
+        return STRATEGY_REPLICATE
+    if options.group_by_join is True:
+        return STRATEGY_REPLICATE
+    allowed = [
+        STRATEGY_REPLICATE,
+        STRATEGY_BROADCAST_LEFT,
+        STRATEGY_BROADCAST_RIGHT,
+        STRATEGY_TILED_REDUCE,
+    ]
+    if threshold == 0:
+        allowed = [STRATEGY_REPLICATE, STRATEGY_TILED_REDUCE]
+    return choose_strategy(candidates, allowed)
+
+
+def _attach_estimates(
+    plan: Plan, strategy: str, candidates: dict[str, CostEstimate]
+) -> Plan:
+    plan.candidates = candidates
+    plan.estimate = candidates.get(strategy)
+    plan.details["strategy"] = strategy
+    return plan
+
+
+def _record_estimate(plan: Plan, engine: EngineContext) -> Plan:
+    """Record the chosen estimate when the plan actually executes."""
+    if plan.estimate is None:
+        return plan
+    inner = plan.thunk
+    estimated = plan.estimate.shuffle_bytes
+
+    def thunk():
+        engine.metrics.record_estimated_shuffle(estimated)
+        return inner()
+
+    plan.thunk = thunk
+    return plan
 
 
 def _local_plan(

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
@@ -45,7 +45,8 @@ from ..engine import RDD
 from ..storage.tiled import TiledMatrix, TiledVector
 from .analysis import CompInfo, key_components
 from .kernels import (
-    KernelUnsupported, combine_tiles, compile_vectorized, contract, gather,
+    KernelUnsupported, combine_tiles, compile_vectorized_cached, contract,
+    gather,
 )
 from .plan import (
     Plan, RULE_PRESERVE_TILING, RULE_TILED_REDUCE, RULE_TILED_SHUFFLE,
@@ -154,6 +155,10 @@ def resolve_tiled(
             )
         )
     assert tile_size is not None
+    # Guard pruning below mutates ``residual_guards``; the analysis is
+    # memoized on the AST node and may be shared across compiles with
+    # different storages, so prune a private copy.
+    info = replace(info, residual_guards=list(info.residual_guards))
     setup = TiledSetup(info, gens, classes, class_dim, tile_size, const_env)
     _prune_redundant_guards(setup)
     return setup
@@ -257,7 +262,7 @@ def _try_compile(
     if not free_vars(expr) <= allowed | set(const_env):
         return None
     try:
-        kernel = compile_vectorized(expr)
+        kernel = compile_vectorized_cached(expr)
     except KernelUnsupported:
         return None
     return lambda tile_env: kernel({**const_env, **tile_env})
@@ -808,7 +813,7 @@ def _residual_fn(setup: TiledSetup, out_classes: list[int]) -> Callable:
         and residual.name == slot_vars[0]
     ):
         return lambda _key, tiles: np.asarray(tiles[0], dtype=np.float64)
-    kernel = compile_vectorized(residual)
+    kernel = compile_vectorized_cached(residual)
     const_env = setup.const_env
 
     def finish(key, tiles):

@@ -1,0 +1,121 @@
+"""Validation of the planner's cost model against measured execution.
+
+The acceptance bar for the model: its shuffle-byte predictions for the
+Figure 4.B plans (SUMMA group-by-join and the naive join+group-by) land
+within 2x of the engine's measured ``JobMetrics.shuffle_bytes``, and the
+strategy it picks by default is the one that measures faster on the
+benchmark cluster.
+"""
+
+import numpy as np
+import pytest
+
+from repro import PlannerOptions, SacSession
+from repro.planner import (
+    RULE_GROUP_BY_JOIN, STRATEGY_BROADCAST_LEFT, STRATEGY_BROADCAST_RIGHT,
+    STRATEGY_REPLICATE, STRATEGY_TILED_REDUCE, CostEstimate, choose_strategy,
+)
+from repro.engine import BENCH_CLUSTER, TINY_CLUSTER
+
+MULTIPLY = (
+    "tiled(n,m)[ ((i,j),+/v) | ((i,k),a) <- A, ((kk,j),b) <- B,"
+    " kk == k, let v = a*b, group by (i,j) ]"
+)
+RNG = np.random.default_rng(11)
+
+#: Figure 4.B shapes (scaled down; same grid shapes as the benchmark).
+FIG4B = [(180, 90), (360, 90)]
+
+GBJ_FAMILY = {
+    STRATEGY_REPLICATE, STRATEGY_BROADCAST_LEFT, STRATEGY_BROADCAST_RIGHT
+}
+
+
+def _measured_run(n, tile, group_by_join):
+    session = SacSession(
+        cluster=BENCH_CLUSTER, tile_size=tile,
+        options=PlannerOptions(group_by_join=group_by_join),
+    )
+    a = RNG.uniform(0, 9, size=(n, n))
+    b = RNG.uniform(0, 9, size=(n, n))
+    A = session.tiled(a).materialize()
+    B = session.tiled(b).materialize()
+    compiled = session.compile(MULTIPLY, A=A, B=B, n=n, m=n)
+    snapshot = session.metrics_snapshot()
+    compiled.execute().tiles.count()
+    delta = session.metrics_delta(snapshot)
+    return compiled, delta
+
+
+@pytest.mark.parametrize("n,tile", FIG4B)
+@pytest.mark.parametrize("group_by_join", [True, False])
+def test_estimates_within_2x_of_measured(n, tile, group_by_join):
+    compiled, delta = _measured_run(n, tile, group_by_join)
+    estimate = compiled.plan.estimate
+    assert estimate is not None
+    assert delta.shuffle_bytes > 0
+    ratio = estimate.shuffle_bytes / delta.shuffle_bytes
+    assert 0.5 <= ratio <= 2.0, (
+        f"{estimate.strategy}: estimated {estimate.shuffle_bytes} vs "
+        f"measured {delta.shuffle_bytes} ({ratio:.2f}x)"
+    )
+
+
+@pytest.mark.parametrize("n,tile", FIG4B)
+def test_default_choice_matches_faster_measured_plan(n, tile):
+    _, gbj_delta = _measured_run(n, tile, True)
+    _, naive_delta = _measured_run(n, tile, False)
+    gbj_time = gbj_delta.simulated_time(BENCH_CLUSTER)
+    naive_time = naive_delta.simulated_time(BENCH_CLUSTER)
+
+    chosen, _ = _measured_run(n, tile, None)
+    strategy = chosen.plan.details["strategy"]
+    if gbj_time <= naive_time:
+        assert strategy in GBJ_FAMILY
+    else:
+        assert strategy == STRATEGY_TILED_REDUCE
+
+
+def test_estimated_shuffle_counter_recorded():
+    compiled, delta = _measured_run(180, 90, None)
+    assert delta.estimated_shuffle_bytes == compiled.plan.estimate.shuffle_bytes
+
+
+def test_candidates_attached_even_under_override():
+    """Forced strategies still report what the model would have said."""
+    compiled, _ = _measured_run(180, 90, False)
+    assert compiled.plan.rule != RULE_GROUP_BY_JOIN
+    assert set(GBJ_FAMILY) <= set(compiled.plan.candidates)
+    assert compiled.plan.estimate.strategy == STRATEGY_TILED_REDUCE
+
+
+def test_explain_reports_candidates():
+    session = SacSession(cluster=TINY_CLUSTER, tile_size=10)
+    A = session.tiled(RNG.uniform(size=(30, 20)))
+    B = session.tiled(RNG.uniform(size=(20, 30)))
+    compiled = session.compile(MULTIPLY, A=A, B=B, n=30, m=30)
+    text = compiled.explain()
+    assert "cost estimates (chosen first):" in text
+    assert "* " in text  # the chosen strategy is starred
+    for name in GBJ_FAMILY | {STRATEGY_TILED_REDUCE}:
+        assert name in text
+
+
+def test_choose_strategy_stable_tie_prefers_replicate():
+    def est(strategy, seconds):
+        return CostEstimate(
+            strategy=strategy, shuffle_bytes=0, shuffle_records=0,
+            broadcast_bytes=0, tasks=1, effective_parallelism=1,
+            reduce_partitions=1, compute_seconds=seconds,
+            network_seconds=0.0, launch_seconds=0.0,
+        )
+
+    candidates = {
+        STRATEGY_REPLICATE: est(STRATEGY_REPLICATE, 1.0),
+        STRATEGY_TILED_REDUCE: est(STRATEGY_TILED_REDUCE, 1.0),
+        STRATEGY_BROADCAST_LEFT: est(STRATEGY_BROADCAST_LEFT, 2.0),
+    }
+    assert choose_strategy(candidates) == STRATEGY_REPLICATE
+    assert choose_strategy(
+        candidates, [STRATEGY_TILED_REDUCE, STRATEGY_BROADCAST_LEFT]
+    ) == STRATEGY_TILED_REDUCE

@@ -112,12 +112,30 @@ def test_broadcast_join_not_used_when_both_large():
     np.testing.assert_allclose(compiled.execute().to_numpy(), a @ b, rtol=1e-10)
 
 
-def test_broadcast_disabled_by_default(session):
+def test_cost_model_may_broadcast_by_default(session):
+    # With no broadcast_threshold set the planner is cost-based and free
+    # to broadcast the tiny right side; the estimates must be attached.
     a = RNG.uniform(0, 9, size=(60, 40))
     b = RNG.uniform(0, 9, size=(40, 10))
     A, B = session.tiled(a), session.tiled(b)
     compiled = session.compile(MULTIPLY, A=A, B=B, n=60, m=10)
-    assert "SUMMA" in compiled.plan.description
+    assert compiled.plan.estimate is not None
+    assert compiled.plan.details["strategy"] in compiled.plan.candidates
+    np.testing.assert_allclose(compiled.execute().to_numpy(), a @ b, rtol=1e-10)
+
+
+def test_broadcast_disabled_by_zero_threshold():
+    # broadcast_threshold=0 vetoes the broadcast candidates outright.
+    session = SacSession(
+        cluster=TINY_CLUSTER, tile_size=10,
+        options=PlannerOptions(broadcast_threshold=0),
+    )
+    a = RNG.uniform(0, 9, size=(60, 40))
+    b = RNG.uniform(0, 9, size=(40, 10))
+    A, B = session.tiled(a), session.tiled(b)
+    compiled = session.compile(MULTIPLY, A=A, B=B, n=60, m=10)
+    assert "broadcast" not in compiled.plan.details["strategy"]
+    np.testing.assert_allclose(compiled.execute().to_numpy(), a @ b, rtol=1e-10)
 
 
 def test_broadcast_join_transposed_form():
@@ -137,7 +155,12 @@ def test_broadcast_join_shuffles_less_than_summa():
     a = RNG.uniform(0, 9, size=(60, 40))
     b = RNG.uniform(0, 9, size=(40, 10))
 
-    summa = SacSession(cluster=TINY_CLUSTER, tile_size=10)
+    # Pin the SUMMA strategy: by default the cost model would also
+    # choose the broadcast here.
+    summa = SacSession(
+        cluster=TINY_CLUSTER, tile_size=10,
+        options=PlannerOptions(group_by_join=True),
+    )
     A1, B1 = summa.tiled(a), summa.tiled(b)
     summa.run(MULTIPLY, A=A1, B=B1, n=60, m=10).tiles.count()
 
