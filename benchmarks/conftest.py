@@ -82,6 +82,14 @@ PAPER_EXPECTATIONS = {
         "shuffle and compute proportionally to the block density, "
         "beating dense tiles on block-sparse inputs."
     ),
+    "ablation-sparse-density": (
+        "Density-aware costing: on sparse bands the recorded statistic "
+        "prices replication's tile fan-out at its true (small) volume "
+        "and the default flips to a plan that ships only stored tiles — "
+        "the forced-replicate arm shows the shuffle bytes the flip "
+        "saves, widest at the sparse end and converging to plain dense "
+        "costing as the band fills in."
+    ),
     "ablation-costmodel-square": (
         "Cost model: both sides large, so SUMMA replication wins; the "
         "broadcast would ship a whole matrix to every executor."

@@ -8,19 +8,34 @@ appropriate distributed plan (noted per function).
 
 All functions take tiled storages and return tiled storages; use
 ``.to_numpy()`` to materialize results locally.
+
+Matrix arguments may also be :class:`~repro.storage.SparseTiledMatrix`
+instances: the planner accepts them wherever it accepts dense tiled
+matrices (paper §8), running annihilating maps (``transpose``,
+``scale``) and ``+``-aggregations (``multiply``, ``row_sums``) on the
+tiled rules and everything else on the coordinate path.  Density
+statistics recorded at construction propagate through these wrappers
+onto their (dense tiled) results — exactly through ``transpose``/
+``scale``, union-bounded through ``add``/``subtract``, product-bounded
+through ``hadamard``, and contraction-estimated through the multiplies
+(see :mod:`repro.storage.stats`) — so chained operations keep pricing
+plans sparse-aware without ever running a count action.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Union
 
-from ..storage import TiledMatrix, TiledVector
+from ..storage import SparseTiledMatrix, TiledMatrix, TiledVector
 from .session import SacSession
 
 Number = Union[int, float]
+#: Any matrix the tiled planner accepts; sparse inputs yield dense tiled
+#: results carrying propagated density statistics.
+Matrix = Union[TiledMatrix, SparseTiledMatrix]
 
 
-def add(session: SacSession, a: TiledMatrix, b: TiledMatrix) -> TiledMatrix:
+def add(session: SacSession, a: Matrix, b: Matrix) -> TiledMatrix:
     """Matrix addition — Query (8); compiles to preserve-tiling (5.1)."""
     _check_same_shape(a, b)
     return session.run(
@@ -30,7 +45,7 @@ def add(session: SacSession, a: TiledMatrix, b: TiledMatrix) -> TiledMatrix:
     )
 
 
-def subtract(session: SacSession, a: TiledMatrix, b: TiledMatrix) -> TiledMatrix:
+def subtract(session: SacSession, a: Matrix, b: Matrix) -> TiledMatrix:
     """Cell-wise subtraction; compiles to preserve-tiling (5.1)."""
     _check_same_shape(a, b)
     return session.run(
@@ -40,7 +55,7 @@ def subtract(session: SacSession, a: TiledMatrix, b: TiledMatrix) -> TiledMatrix
     )
 
 
-def hadamard(session: SacSession, a: TiledMatrix, b: TiledMatrix) -> TiledMatrix:
+def hadamard(session: SacSession, a: Matrix, b: Matrix) -> TiledMatrix:
     """Element-wise product; compiles to preserve-tiling (5.1)."""
     _check_same_shape(a, b)
     return session.run(
@@ -50,7 +65,7 @@ def hadamard(session: SacSession, a: TiledMatrix, b: TiledMatrix) -> TiledMatrix
     )
 
 
-def scale(session: SacSession, a: TiledMatrix, factor: Number) -> TiledMatrix:
+def scale(session: SacSession, a: Matrix, factor: Number) -> TiledMatrix:
     """Scalar multiple; compiles to preserve-tiling (5.1)."""
     return session.run(
         "tiled(n, m)[ ((i,j), c * x) | ((i,j),x) <- A ]",
@@ -58,7 +73,7 @@ def scale(session: SacSession, a: TiledMatrix, factor: Number) -> TiledMatrix:
     )
 
 
-def shift(session: SacSession, a: TiledMatrix, offset: Number) -> TiledMatrix:
+def shift(session: SacSession, a: Matrix, offset: Number) -> TiledMatrix:
     """Add a constant to every cell; preserve-tiling (5.1)."""
     return session.run(
         "tiled(n, m)[ ((i,j), x + c) | ((i,j),x) <- A ]",
@@ -66,7 +81,7 @@ def shift(session: SacSession, a: TiledMatrix, offset: Number) -> TiledMatrix:
     )
 
 
-def transpose(session: SacSession, a: TiledMatrix) -> TiledMatrix:
+def transpose(session: SacSession, a: Matrix) -> TiledMatrix:
     """Matrix transpose; preserve-tiling (tile grid transposes too)."""
     return session.run(
         "tiled(m, n)[ ((j,i), v) | ((i,j),v) <- A ]",
@@ -76,8 +91,8 @@ def transpose(session: SacSession, a: TiledMatrix) -> TiledMatrix:
 
 def multiply(
     session: SacSession,
-    a: TiledMatrix,
-    b: TiledMatrix,
+    a: Matrix,
+    b: Matrix,
 ) -> TiledMatrix:
     """Matrix multiplication — Query (9).
 
@@ -97,7 +112,7 @@ def multiply(
     )
 
 
-def multiply_nt(session: SacSession, a: TiledMatrix, b: TiledMatrix) -> TiledMatrix:
+def multiply_nt(session: SacSession, a: Matrix, b: Matrix) -> TiledMatrix:
     """``A @ B.T`` without materializing the transpose (both join on
     their column index); group-by-join (5.4)."""
     if a.cols != b.cols:
@@ -111,7 +126,7 @@ def multiply_nt(session: SacSession, a: TiledMatrix, b: TiledMatrix) -> TiledMat
     )
 
 
-def multiply_tn(session: SacSession, a: TiledMatrix, b: TiledMatrix) -> TiledMatrix:
+def multiply_tn(session: SacSession, a: Matrix, b: Matrix) -> TiledMatrix:
     """``A.T @ B`` without materializing the transpose; group-by-join."""
     if a.rows != b.rows:
         raise ValueError(
@@ -124,7 +139,7 @@ def multiply_tn(session: SacSession, a: TiledMatrix, b: TiledMatrix) -> TiledMat
     )
 
 
-def row_sums(session: SacSession, a: TiledMatrix) -> TiledVector:
+def row_sums(session: SacSession, a: Matrix) -> TiledVector:
     """``V_i = Σ_j M_ij`` — Figure 1; tiled reduce (5.3)."""
     return session.run(
         "tiled_vector(n)[ (i, +/m) | ((i,j),m) <- A, group by i ]",
@@ -132,7 +147,7 @@ def row_sums(session: SacSession, a: TiledMatrix) -> TiledVector:
     )
 
 
-def col_sums(session: SacSession, a: TiledMatrix) -> TiledVector:
+def col_sums(session: SacSession, a: Matrix) -> TiledVector:
     """Column sums; tiled reduce (5.3)."""
     return session.run(
         "tiled_vector(m)[ (j, +/v) | ((i,j),v) <- A, group by j ]",
@@ -140,7 +155,7 @@ def col_sums(session: SacSession, a: TiledMatrix) -> TiledVector:
     )
 
 
-def row_max(session: SacSession, a: TiledMatrix) -> TiledVector:
+def row_max(session: SacSession, a: Matrix) -> TiledVector:
     """Row-wise maxima; tiled reduce with the ``max`` monoid."""
     return session.run(
         "tiled_vector(n)[ (i, max/m) | ((i,j),m) <- A, group by i ]",
@@ -148,17 +163,17 @@ def row_max(session: SacSession, a: TiledMatrix) -> TiledVector:
     )
 
 
-def total_sum(session: SacSession, a: TiledMatrix) -> float:
+def total_sum(session: SacSession, a: Matrix) -> float:
     """Sum of all cells; distributed total aggregation."""
     return session.run("+/[ v | ((i,j),v) <- A ]", A=a)
 
 
-def frobenius_norm_sq(session: SacSession, a: TiledMatrix) -> float:
+def frobenius_norm_sq(session: SacSession, a: Matrix) -> float:
     """Squared Frobenius norm ``Σ v²``; distributed total aggregation."""
     return session.run("+/[ v * v | ((i,j),v) <- A ]", A=a)
 
 
-def diagonal(session: SacSession, a: TiledMatrix) -> TiledVector:
+def diagonal(session: SacSession, a: Matrix) -> TiledVector:
     """Main diagonal — the paper's 5.1 example ``i == j``."""
     return session.run(
         "tiled_vector(n)[ (i, v) | ((i,j),v) <- A, i == j ]",
@@ -166,12 +181,12 @@ def diagonal(session: SacSession, a: TiledMatrix) -> TiledVector:
     )
 
 
-def trace(session: SacSession, a: TiledMatrix) -> float:
+def trace(session: SacSession, a: Matrix) -> float:
     """Sum of the diagonal; distributed total aggregation."""
     return session.run("+/[ v | ((i,j),v) <- A, i == j ]", A=a)
 
 
-def rotate_rows(session: SacSession, a: TiledMatrix) -> TiledMatrix:
+def rotate_rows(session: SacSession, a: Matrix) -> TiledMatrix:
     """Cyclic row rotation — the paper's 5.2 example; tiled shuffle."""
     return session.run(
         "tiled(n, m)[ (((i+1) % n, j), v) | ((i,j),v) <- A ]",
@@ -180,7 +195,7 @@ def rotate_rows(session: SacSession, a: TiledMatrix) -> TiledMatrix:
 
 
 def slice_rows(
-    session: SacSession, a: TiledMatrix, start: int, stop: int
+    session: SacSession, a: Matrix, start: int, stop: int
 ) -> TiledMatrix:
     """Rows ``start <= i < stop`` re-indexed from zero; tiled shuffle."""
     if not 0 <= start < stop <= a.rows:
@@ -193,7 +208,7 @@ def slice_rows(
 
 def _retile_offset(
     session: SacSession,
-    matrix: TiledMatrix,
+    matrix: Matrix,
     rows: int,
     cols: int,
     row_offset: int,
@@ -209,13 +224,13 @@ def _retile_offset(
     )
 
 
-def _merge_tiles(a: TiledMatrix, b: TiledMatrix) -> TiledMatrix:
+def _merge_tiles(a: Matrix, b: Matrix) -> TiledMatrix:
     """Union two same-geometry tilings, adding tiles that share a seam."""
     merged = a.tiles.union(b.tiles).reduce_by_key(lambda x, y: x + y)
     return TiledMatrix(a.rows, a.cols, a.tile_size, merged)
 
 
-def vstack(session: SacSession, a: TiledMatrix, b: TiledMatrix) -> TiledMatrix:
+def vstack(session: SacSession, a: Matrix, b: Matrix) -> TiledMatrix:
     """Vertical concatenation ``[A; B]`` (the paper's array concatenation).
 
     A comprehension is a join, not a union, so concatenation runs as two
@@ -231,7 +246,7 @@ def vstack(session: SacSession, a: TiledMatrix, b: TiledMatrix) -> TiledMatrix:
     return _merge_tiles(top, bottom)
 
 
-def hstack(session: SacSession, a: TiledMatrix, b: TiledMatrix) -> TiledMatrix:
+def hstack(session: SacSession, a: Matrix, b: Matrix) -> TiledMatrix:
     """Horizontal concatenation ``[A, B]``."""
     if a.rows != b.rows:
         raise ValueError(f"row mismatch: {a.rows} vs {b.rows}")
@@ -258,7 +273,7 @@ def inner(session: SacSession, u: TiledVector, v: TiledVector) -> float:
     )
 
 
-def matvec(session: SacSession, a: TiledMatrix, x: TiledVector) -> TiledVector:
+def matvec(session: SacSession, a: Matrix, x: TiledVector) -> TiledVector:
     """Matrix-vector product; tiled reduce (5.3)."""
     if a.cols != x.length:
         raise ValueError(f"dimension mismatch: {a.cols} vs {x.length}")
@@ -269,7 +284,7 @@ def matvec(session: SacSession, a: TiledMatrix, x: TiledVector) -> TiledVector:
     )
 
 
-def smooth(session: SacSession, a: TiledMatrix) -> TiledMatrix:
+def smooth(session: SacSession, a: Matrix) -> TiledMatrix:
     """3×3 neighbourhood average — the paper's Section 3 example.
 
     The stencil's group key is range-generated, so this runs on the
@@ -284,7 +299,7 @@ def smooth(session: SacSession, a: TiledMatrix) -> TiledMatrix:
     )
 
 
-def _check_same_shape(a: TiledMatrix, b: TiledMatrix) -> None:
+def _check_same_shape(a: Matrix, b: Matrix) -> None:
     if (a.rows, a.cols) != (b.rows, b.cols):
         raise ValueError(
             f"shape mismatch: {a.rows}x{a.cols} vs {b.rows}x{b.cols}"

@@ -34,8 +34,25 @@ envelope.  With N×N tiles over an n×l × l×m product (grids gr, gk, gc):
 Compute is charged as ``2·n·l·m`` flops at a fixed local-GEMM rate plus
 a per-contraction call overhead, scaled by the cluster's
 ``compute_scale`` and divided by the strategy's *effective* parallelism
-(the skew term).  Sparse inputs are currently costed at density 1.0 — a
-dense upper bound; density-aware costing is a ROADMAP item.
+(the skew term).
+
+**Density-aware costing.**  Every tiled storage carries
+:class:`~repro.storage.stats.DensityStats` (recorded at construction by
+sparse builders, propagated by the translation rules); the model scales
+each candidate by them.  The engine densifies CSC tiles *before* any
+shuffle (``ResolvedGen.tile_records``), so the tiled strategies' bytes
+and records scale with **block density** — the fraction of grid tiles
+stored: a block-sparse side with block density ``b`` contributes
+``b·|A|`` payload, a tile pair contracts only when both blocks are
+present (``b_l·b_r`` of the dense pairs), and tiled-reduce/broadcast
+ship ``min(gk·b_l·b_r, parts)`` surviving partial copies per result
+tile.  The **element** density matters only on the coordinate path,
+which ships one record per stored non-zero.  All scalings are
+multiplicative, so dense inputs (density 1.0) reproduce the previous
+estimates byte-for-byte — fig4a/fig4b plan choices are unaffected.
+Estimates remain upper bounds in expectation, not guarantees: block
+densities are recorded facts for source storages but propagated
+estimates for derived ones (see :mod:`repro.storage.stats`).
 """
 
 from __future__ import annotations
@@ -45,6 +62,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from ..engine.cluster import ClusterSpec
+from ..storage.stats import DENSE, DensityStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from .groupby_join import GbjMatch
@@ -97,6 +115,9 @@ class CostEstimate:
     compute_seconds: float
     network_seconds: float
     launch_seconds: float
+    #: Input densities this candidate was priced with (``"dense"`` when
+    #: both sides carried no sparsity information); surfaced by explain().
+    densities: str = "dense"
 
     @property
     def total_seconds(self) -> float:
@@ -108,8 +129,22 @@ class CostEstimate:
             f"({self.shuffle_records} records), "
             f"{self.broadcast_bytes / 1e6:.2f}MB broadcast, "
             f"{self.tasks} tasks on {self.effective_parallelism} cores "
-            f"-> {self.total_seconds * 1e3:.2f}ms est"
+            f"-> {self.total_seconds * 1e3:.2f}ms est "
+            f"[priced at {self.densities}]"
         )
+
+
+def _density_note(left: DensityStats, right: DensityStats) -> str:
+    """Human-readable record of the densities a candidate was priced with."""
+
+    def one(stats: DensityStats) -> str:
+        if stats.is_dense:
+            return "dense"
+        return f"d={stats.density:.3g} bd={stats.block_density:.3g}"
+
+    if left.is_dense and right.is_dense:
+        return "dense"
+    return f"left {one(left)}, right {one(right)}"
 
 
 class CostModel:
@@ -121,19 +156,27 @@ class CostModel:
 
     # -- shared quantities ------------------------------------------------
 
-    def _gen_stats(self, gen) -> tuple[int, int, int]:
-        """(payload bytes, tile count, RDD partitions) of a generator."""
+    def _gen_stats(self, gen) -> tuple[int, int, int, DensityStats]:
+        """(dense payload bytes, dense tile count, RDD partitions,
+        density stats) of a generator.
+
+        Bytes and tiles are the *dense* quantities; callers scale them
+        by the returned :class:`DensityStats` (block density for tiled
+        strategies, element density on the coordinate path) so that
+        dense inputs reproduce the unscaled estimates exactly.
+        """
         elements = 1
         tiles = 1
         for dim in gen.axis_dims:
             elements *= dim
             tiles *= math.ceil(dim / gen.storage.tile_size)
-        # Sparse storages hold fewer tiles; without an up-front count we
-        # cost them densely (an upper bound; see module docstring).
         partitions = max(1, gen.tiles.num_partitions)
-        return elements * ELEMENT_BYTES, tiles, partitions
+        stats = gen.stats if isinstance(
+            getattr(gen, "stats", None), DensityStats
+        ) else DENSE
+        return elements * ELEMENT_BYTES, tiles, partitions, stats
 
-    def _compute(self, flops: float, calls: int, parallelism: int) -> float:
+    def _compute(self, flops: float, calls: float, parallelism: int) -> float:
         parallelism = max(1, parallelism)
         seconds = flops / LOCAL_CONTRACT_FLOPS + calls * CONTRACT_CALL_SECONDS
         return seconds * self.cluster.compute_scale / parallelism
@@ -160,52 +203,77 @@ class CostModel:
         return out
 
     def replicate(self, setup: "TiledSetup", match: "GbjMatch") -> CostEstimate:
-        """Section 5.4: SUMMA-style row/column band replication."""
-        left_bytes, left_tiles, left_parts = self._gen_stats(match.left_gen)
-        right_bytes, right_tiles, right_parts = self._gen_stats(match.right_gen)
+        """Section 5.4: SUMMA-style row/column band replication.
+
+        Only *stored* tiles replicate — a block-sparse side with block
+        density ``b`` ships ``b`` of the dense band volume — but each
+        stored tile is still copied across a full result band, which is
+        why block sparsity hurts replicate more than the join-once
+        strategies.
+        """
+        left_bytes, left_tiles, left_parts, ls = self._gen_stats(match.left_gen)
+        right_bytes, right_tiles, right_parts, rs = self._gen_stats(match.right_gen)
+        bl, br = ls.block_density, rs.block_density
         gr, gc = match.grid_rows, match.grid_cols
-        records = left_tiles * gc + right_tiles * gr
-        shuffle_bytes = (
-            left_bytes * gc + right_bytes * gr + records * TILE_RECORD_OVERHEAD
-        )
+        records_f = left_tiles * bl * gc + right_tiles * br * gr
+        shuffle_bytes = int(round(
+            left_bytes * bl * gc
+            + right_bytes * br * gr
+            + records_f * TILE_RECORD_OVERHEAD
+        ))
         reduce_partitions = min(self.parallelism, gr * gc)
         parallel = min(self.cluster.total_cores, reduce_partitions)
         tasks = left_parts + right_parts + reduce_partitions
         return CostEstimate(
             strategy=STRATEGY_REPLICATE,
             shuffle_bytes=shuffle_bytes,
-            shuffle_records=records,
+            shuffle_records=int(round(records_f)),
             broadcast_bytes=0,
             tasks=tasks,
             effective_parallelism=parallel,
             reduce_partitions=reduce_partitions,
             compute_seconds=self._compute(
-                match.flops, gr * gc * match.grid_join, parallel
+                match.flops * bl * br,
+                gr * gc * match.grid_join * bl * br,
+                parallel,
             ),
             network_seconds=shuffle_bytes / self.cluster.network_bandwidth,
             launch_seconds=self._launch(
                 left_parts + right_parts, reduce_partitions
             ),
+            densities=_density_note(ls, rs),
         )
 
     def tiled_reduce(self, setup: "TiledSetup", match: "GbjMatch") -> CostEstimate:
-        """Section 5.3: tile join + one partial product per (i,k,j)."""
-        left_bytes, left_tiles, left_parts = self._gen_stats(match.left_gen)
-        right_bytes, right_tiles, right_parts = self._gen_stats(match.right_gen)
+        """Section 5.3: tile join + one partial product per (i,k,j).
+
+        The join ships each stored tile once (``b·|A| + b·|B|``), and a
+        tile pair only produces a partial when *both* blocks are present
+        — ``b_l·b_r`` of the dense (i,k,j) triples — so at most
+        ``min(gk·b_l·b_r, join partitions)`` partial copies of each
+        result tile survive map-side combining.
+        """
+        left_bytes, left_tiles, left_parts, ls = self._gen_stats(match.left_gen)
+        right_bytes, right_tiles, right_parts, rs = self._gen_stats(match.right_gen)
+        bl, br = ls.block_density, rs.block_density
         gr, gc, gk = match.grid_rows, match.grid_cols, match.grid_join
         join_parts = max(left_parts, right_parts)
-        join_records = left_tiles + right_tiles
-        join_bytes = left_bytes + right_bytes + join_records * TILE_RECORD_OVERHEAD
+        join_records = left_tiles * bl + right_tiles * br
+        join_bytes = (
+            left_bytes * bl + right_bytes * br
+            + join_records * TILE_RECORD_OVERHEAD
+        )
         # Map-side combine merges the gk partials of a result tile only
         # within one join partition; distinct join keys land in distinct
         # partitions (gk ≤ partitions in practice), so one copy of the
-        # result survives per partition holding a distinct k.
-        copies = min(gk, join_parts)
+        # result survives per partition holding a distinct k — of which
+        # only the ~gk·b_l·b_r block-present pairs produce partials.
+        copies = min(gk * bl * br, join_parts)
         partial_records = gr * gc * copies
         partial_bytes = (
             match.result_bytes * copies + partial_records * TILE_RECORD_OVERHEAD
         )
-        shuffle_bytes = join_bytes + partial_bytes
+        shuffle_bytes = int(round(join_bytes + partial_bytes))
         # The join key is the shared dimension: gk distinct values, so
         # the whole contraction runs on at most gk cores (key skew).
         parallel = min(self.cluster.total_cores, min(gk, join_parts))
@@ -213,18 +281,19 @@ class CostModel:
         return CostEstimate(
             strategy=STRATEGY_TILED_REDUCE,
             shuffle_bytes=shuffle_bytes,
-            shuffle_records=join_records + partial_records,
+            shuffle_records=int(round(join_records + partial_records)),
             broadcast_bytes=0,
             tasks=tasks,
             effective_parallelism=parallel,
             reduce_partitions=join_parts,
             compute_seconds=self._compute(
-                match.flops, gr * gc * gk, parallel
+                match.flops * bl * br, gr * gc * gk * bl * br, parallel
             ),
             network_seconds=shuffle_bytes / self.cluster.network_bandwidth,
             launch_seconds=self._launch(
                 left_parts + right_parts, join_parts, join_parts
             ),
+            densities=_density_note(ls, rs),
         )
 
     def broadcast(
@@ -233,37 +302,47 @@ class CostModel:
         """Map-side join: collect+broadcast one side, stream the other."""
         small_gen = match.left_gen if side == "left" else match.right_gen
         large_gen = match.right_gen if side == "left" else match.left_gen
-        small_bytes, small_tiles, _small_parts = self._gen_stats(small_gen)
-        _large_bytes, _large_tiles, large_parts = self._gen_stats(large_gen)
+        small_bytes, small_tiles, _small_parts, ss = self._gen_stats(small_gen)
+        _large_bytes, _large_tiles, large_parts, lls = self._gen_stats(large_gen)
+        bs, bl = ss.block_density, lls.block_density
         gr, gc, gk = match.grid_rows, match.grid_cols, match.grid_join
-        # One collect to the driver plus one copy per executor.
-        broadcast_bytes = small_bytes * (1 + self.cluster.num_executors)
+        # One collect to the driver plus one copy per executor; only
+        # stored tiles are collected (tiles densify on collect).
+        broadcast_bytes = int(round(
+            small_bytes * bs * (1 + self.cluster.num_executors)
+        ))
         # The large side's partials rarely share a partition (one result
         # key per (large tile, small tile) pair), so map-side combining
-        # collapses at best to one copy per large partition.
-        copies = min(gk, large_parts)
-        records = gr * gc * copies
-        shuffle_bytes = match.result_bytes * copies + records * TILE_RECORD_OVERHEAD
+        # collapses at best to one copy per large partition — and only
+        # block-present pairs (gk·b_s·b_l of gk) produce partials.
+        copies = min(gk * bs * bl, large_parts)
+        records_f = gr * gc * copies
+        shuffle_bytes = int(round(
+            match.result_bytes * copies + records_f * TILE_RECORD_OVERHEAD
+        ))
         reduce_partitions = min(self.parallelism, gr * gc)
         parallel = min(self.cluster.total_cores, large_parts)
         strategy = (
             STRATEGY_BROADCAST_LEFT if side == "left" else STRATEGY_BROADCAST_RIGHT
         )
+        left_stats = ss if side == "left" else lls
+        right_stats = lls if side == "left" else ss
         return CostEstimate(
             strategy=strategy,
             shuffle_bytes=shuffle_bytes,
-            shuffle_records=records,
+            shuffle_records=int(round(records_f)),
             broadcast_bytes=broadcast_bytes,
-            tasks=large_parts + reduce_partitions + small_tiles,
+            tasks=large_parts + reduce_partitions + int(round(small_tiles * bs)),
             effective_parallelism=parallel,
             reduce_partitions=reduce_partitions,
             compute_seconds=self._compute(
-                match.flops, gr * gc * gk, parallel
+                match.flops * bs * bl, gr * gc * gk * bs * bl, parallel
             ),
             network_seconds=(
                 (shuffle_bytes + broadcast_bytes) / self.cluster.network_bandwidth
             ),
             launch_seconds=self._launch(large_parts, reduce_partitions),
+            densities=_density_note(left_stats, right_stats),
         )
 
     def coordinate(self, setup: "TiledSetup", match: "GbjMatch") -> CostEstimate:
@@ -274,7 +353,15 @@ class CostModel:
         is orders of magnitude above the tiled plans — it is listed so
         ``explain`` shows what tiling buys, never auto-chosen when a
         tiled plan exists.
+
+        This is the one path where *element* density (not block density)
+        governs the bytes: sparsification ships one record per stored
+        non-zero, and a joined pair exists only when both elements are
+        non-zero.
         """
+        _lb, _lt, _lp, ls = self._gen_stats(match.left_gen)
+        _rb, _rt, _rp, rs = self._gen_stats(match.right_gen)
+        dl, dr = ls.density, rs.density
         left_elems = 1
         for dim in match.left_gen.axis_dims:
             left_elems *= dim
@@ -284,25 +371,26 @@ class CostModel:
         result_elems = match.result_bytes // ELEMENT_BYTES
         # Join output: one record per multiplied pair, grouped afterwards.
         join_dim = setup.class_dim[match.join_class]
-        pairs = result_elems * join_dim
-        records = left_elems + right_elems + pairs
-        shuffle_bytes = records * COORD_RECORD_BYTES
+        pairs = result_elems * join_dim * dl * dr
+        records_f = left_elems * dl + right_elems * dr + pairs
+        shuffle_bytes = int(round(records_f * COORD_RECORD_BYTES))
         cores = max(1, self.cluster.total_cores)
         return CostEstimate(
             strategy=STRATEGY_COORDINATE,
             shuffle_bytes=shuffle_bytes,
-            shuffle_records=records,
+            shuffle_records=int(round(records_f)),
             broadcast_bytes=0,
             tasks=3 * self.parallelism,
             effective_parallelism=cores,
             reduce_partitions=self.parallelism,
             compute_seconds=(
-                records * COORD_ELEMENT_SECONDS * self.cluster.compute_scale / cores
+                records_f * COORD_ELEMENT_SECONDS * self.cluster.compute_scale / cores
             ),
             network_seconds=shuffle_bytes / self.cluster.network_bandwidth,
             launch_seconds=self._launch(
                 self.parallelism, self.parallelism, self.parallelism
             ),
+            densities=_density_note(ls, rs),
         )
 
 

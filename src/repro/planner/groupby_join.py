@@ -35,9 +35,12 @@ import numpy as np
 from ..comprehension.ast import Var, free_vars, to_source
 from ..comprehension.monoids import Monoid, monoid
 from ..engine import GridPartitioner
+from ..storage import stats as density
 from .kernels import combine_tiles, contract
 from .plan import Plan, RULE_GROUP_BY_JOIN
-from .tiling import ResolvedGen, TiledSetup, _out_classes, _result_storage
+from .tiling import (
+    ResolvedGen, TiledSetup, _drop_if_dense, _out_classes, _result_storage,
+)
 
 #: Bytes per float64 element (kept in sync with cost.ELEMENT_BYTES).
 _ELEMENT_BYTES = 8
@@ -188,6 +191,16 @@ def match_group_by_join(setup: TiledSetup) -> Optional[GbjMatch]:
     )
 
 
+def _match_stats(match: GbjMatch):
+    """Result density of the matched contraction (estimate; None = dense)."""
+    return _drop_if_dense(
+        density.contraction(
+            match.left_gen.stats, match.right_gen.stats,
+            match.join_dim, match.grid_join,
+        )
+    )
+
+
 def build_replicate_plan(
     setup: TiledSetup, match: GbjMatch, builder: str, args: tuple
 ) -> Plan:
@@ -240,7 +253,9 @@ def build_replicate_plan(
         tiles_rdd = (
             cogrouped.map(reduce_destination).filter(lambda r: r is not None)
         )
-        return _result_storage(setup, builder, args, tiles_rdd)
+        return _result_storage(
+            setup, builder, args, tiles_rdd, stats=_match_stats(match)
+        )
 
     return Plan(
         rule=RULE_GROUP_BY_JOIN,
@@ -331,7 +346,9 @@ def build_broadcast_plan(
                 num_partitions=reduce_partitions,
             )
         )
-        return _result_storage(setup, builder, args, tiles_rdd)
+        return _result_storage(
+            setup, builder, args, tiles_rdd, stats=_match_stats(match)
+        )
 
     return Plan(
         rule=RULE_GROUP_BY_JOIN,

@@ -313,6 +313,8 @@ def _attach_estimates(
     plan.candidates = candidates
     plan.estimate = candidates.get(strategy)
     plan.details["strategy"] = strategy
+    if plan.estimate is not None:
+        plan.details["priced_densities"] = plan.estimate.densities
     return plan
 
 

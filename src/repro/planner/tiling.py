@@ -42,6 +42,8 @@ from ..comprehension.ast import Expr, Var, free_vars, to_source
 from ..comprehension.errors import SacPlanError
 from ..comprehension.monoids import monoid
 from ..engine import RDD
+from ..storage import stats as density
+from ..storage.stats import DENSE, DensityStats
 from ..storage.tiled import TiledMatrix, TiledVector
 from .analysis import CompInfo, key_components
 from .kernels import (
@@ -67,6 +69,11 @@ class ResolvedGen:
     #: annihilates on this generator's value are sound (checked by the
     #: group-by rules).
     sparse: bool = False
+    #: Density statistics the storage recorded at construction (or a
+    #: prior query propagated onto it); the dense upper bound when
+    #: nothing is known.  The cost model scales its payload/record/flops
+    #: terms by these.
+    stats: DensityStats = DENSE
 
     @property
     def tiles(self) -> RDD:
@@ -151,7 +158,7 @@ def resolve_tiled(
         gens.append(
             ResolvedGen(
                 gen.index_vars, gen.value_var, storage, axis_classes, dims,
-                sparse=sparse,
+                sparse=sparse, stats=density.of(storage),
             )
         )
     assert tile_size is not None
@@ -206,9 +213,16 @@ def sparse_gens_sound(setup: TiledSetup) -> bool:
     its tiles densely is only equivalent when every aggregation slot (a)
     reduces with ``+`` and (b) has a term that *annihilates* when the
     sparse generator's value is zero (a bare variable or a product
-    containing it), so the extra zeros contribute the identity.  Queries
-    that fail this run on the coordinate path, which respects sparse
-    semantics exactly.
+    containing it), so the extra zeros contribute the identity.
+
+    Without a group-by, a *single*-generator map is sound exactly when
+    its head value annihilates on the generator's value (transpose,
+    scalar multiply, slicing): absent tiles then map to absent result
+    tiles, which the dense builder fills with the same zeros the values
+    would have produced.  Multi-generator joins over a sparse source
+    stay unsound (a missing tile would silently drop the other side's
+    contribution).  Queries that fail these checks run on the
+    coordinate path, which respects sparse semantics exactly.
     """
     sparse_vars = [
         gen.value_var for gen in setup.gens if gen.sparse
@@ -217,7 +231,10 @@ def sparse_gens_sound(setup: TiledSetup) -> bool:
         return True
     info = setup.info
     if info.group_key_vars is None or not info.slots:
-        return False
+        if info.group_key_vars is not None or len(setup.gens) != 1:
+            return False
+        var = sparse_vars[0]
+        return var is not None and _annihilates(info.head_value, var)
     for slot in info.slots:
         if slot.monoid != "+":
             return False
@@ -291,13 +308,21 @@ def _tile_shape(setup: TiledSetup, out_classes: Sequence[int], coords: Sequence[
     )
 
 
-def _result_storage(setup: TiledSetup, builder: str, args: tuple, tiles: RDD):
+def _result_storage(
+    setup: TiledSetup,
+    builder: str,
+    args: tuple,
+    tiles: RDD,
+    stats: Optional[DensityStats] = None,
+):
     """Down-coerce a tile RDD through the requested distributed builder.
 
     Like the paper's builders, out-of-range indices are clipped: tiles
     wholly outside the declared dimensions are dropped and boundary
     tiles are trimmed (the declared result may be smaller than the
-    traversed inputs).
+    traversed inputs).  ``stats`` carries the rule's propagated density
+    estimate onto the result, so chained queries keep planning
+    sparse-aware without running a count.
     """
     n = setup.tile_size
     if builder == "tiled":
@@ -314,7 +339,10 @@ def _result_storage(setup: TiledSetup, builder: str, args: tuple, tiles: RDD):
             return (bi, bj), tile
 
         clipped = tiles.map(clip).filter(lambda r: r is not None)
-        return TiledMatrix(rows, cols, n, clipped)
+        result = TiledMatrix(rows, cols, n, clipped)
+        if stats is not None:
+            result.stats = stats
+        return result
     if builder == "tiled_vector":
         length = int(args[0])
 
@@ -329,8 +357,61 @@ def _result_storage(setup: TiledSetup, builder: str, args: tuple, tiles: RDD):
             return bi, block
 
         blocks = tiles.map(clip_block).filter(lambda r: r is not None)
-        return TiledVector(length, n, blocks)
+        vector = TiledVector(length, n, blocks)
+        if stats is not None:
+            vector.stats = stats
+        return vector
     raise SacPlanError(f"tiled rules cannot build {builder!r}")
+
+
+def _value_stats(setup: TiledSetup, expr: Expr) -> Optional[DensityStats]:
+    """Propagate generator stats through a value expression.
+
+    Returns ``None`` when nothing is known (all-dense inputs or an
+    operator with no sparsity rule) — the caller then prices densely.
+    The rules mirror :mod:`repro.storage.stats`: ``*`` annihilates
+    (product bound; a dense factor passes the sparse side through),
+    ``/`` preserves the numerator's support, ``+``/``-`` take the union
+    bound (a dense term makes the result dense), and unary ``-`` is
+    support-preserving.
+    """
+    from ..comprehension.ast import BinOp, UnOp
+
+    gen_stats = {
+        gen.value_var: gen.stats
+        for gen in setup.gens
+        if gen.value_var is not None
+    }
+
+    def walk(e: Expr) -> Optional[DensityStats]:
+        if isinstance(e, Var):
+            return gen_stats.get(e.name)
+        if isinstance(e, UnOp) and e.op == "-":
+            return walk(e.operand)
+        if isinstance(e, BinOp):
+            left, right = walk(e.left), walk(e.right)
+            if e.op == "*":
+                if left is None:
+                    return right
+                if right is None:
+                    return left
+                return density.product(left, right)
+            if e.op in ("+", "-"):
+                if left is None or right is None:
+                    return None
+                return density.union(left, right)
+            if e.op == "/":
+                return left
+        return None
+
+    return walk(expr)
+
+
+def _drop_if_dense(stats: Optional[DensityStats]) -> Optional[DensityStats]:
+    """Dense stats carry no information; keep results unannotated then."""
+    if stats is None or stats.is_dense:
+        return None
+    return stats
 
 
 def _guard_masks(
@@ -432,6 +513,18 @@ def plan_preserve(
         return coords, value
 
     tiles_rdd = joined.map(compute)
+    # Element density follows the head value; block density is further
+    # capped by the sparsest generator, because the tile join above is an
+    # inner join — a coordinate with any absent input tile yields no
+    # output tile.
+    value_stats = _value_stats(setup, info.head_value) or DENSE
+    block_cap = min(gen.stats.block_density for gen in setup.gens)
+    out_stats = _drop_if_dense(
+        DensityStats(
+            value_stats.density,
+            min(value_stats.block_density, block_cap),
+        )
+    )
     pseudocode = _preserve_pseudocode(setup, out_classes)
     return Plan(
         rule=RULE_PRESERVE_TILING,
@@ -439,7 +532,7 @@ def plan_preserve(
             "output tile coordinates are a projection of input tile "
             "coordinates; tiles joined directly (no re-tiling shuffle)"
         ),
-        thunk=lambda: _result_storage(setup, builder, args, tiles_rdd),
+        thunk=lambda: _result_storage(setup, builder, args, tiles_rdd, stats=out_stats),
         pseudocode=pseudocode,
         details={"generators": len(setup.gens), "out_dims": len(out_classes)},
     )
@@ -578,13 +671,18 @@ def plan_shuffle(setup: TiledSetup, builder: str, args: tuple) -> Optional[Plan]
         return out_coord, out
 
     tiles_rdd = grouped.map(assemble)
+    # A shuffle permutes/projects the support; the element density
+    # follows the head value exactly, and the block density is carried
+    # through as an estimate (index remaps move non-zeros between tiles
+    # but rarely change how many tiles are touched).
+    out_stats = _drop_if_dense(_value_stats(setup, info.head_value))
     return Plan(
         rule=RULE_TILED_SHUFFLE,
         description=(
             "output indices are computed from input indices; tiles "
             "replicated to their destination set I_f(K) and regrouped"
         ),
-        thunk=lambda: _result_storage(setup, builder, args, tiles_rdd),
+        thunk=lambda: _result_storage(setup, builder, args, tiles_rdd, stats=out_stats),
         pseudocode=(
             "Tiled(d, rdd[ (K, V) | (k, _a) <- X.tiles,\n"
             f"              K <- I_f(k),   // key = {to_source(setup.info.head_key)}\n"
@@ -650,6 +748,7 @@ def plan_tiled_reduce(
     reduced = partials.reduce_by_key(combine)
     finish = _residual_fn(setup, out_classes)
     tiles_rdd = reduced.map(lambda kv: (kv[0], finish(kv[0], kv[1])))
+    out_stats = _drop_if_dense(_contraction_stats(setup, out_classes))
 
     return Plan(
         rule=RULE_TILED_REDUCE,
@@ -657,13 +756,41 @@ def plan_tiled_reduce(
             "tile-level join + per-pair partial aggregation, merged with "
             "reduceByKey over the tile monoid ⊗′"
         ),
-        thunk=lambda: _result_storage(setup, builder, args, tiles_rdd),
+        thunk=lambda: _result_storage(setup, builder, args, tiles_rdd, stats=out_stats),
         pseudocode=_reduce_pseudocode(setup),
         details={
             "monoids": [m.name for m in slot_monoids],
             "generators": len(setup.gens),
         },
     )
+
+
+def _contraction_stats(
+    setup: TiledSetup, out_classes: list[int]
+) -> Optional[DensityStats]:
+    """Result stats for a group-by contraction (5.3).
+
+    Sums over the contracted dimensions fill the result: ``join_dim``
+    addends per element, ``grid_join`` tile blocks per result tile.
+    Two-generator joins use the matmul-shaped contraction estimate;
+    single-generator projections (row/column sums) use the reduction
+    rule.  Both are estimates (see :mod:`repro.storage.stats`), not
+    bounds.
+    """
+    gen_classes: set[int] = set()
+    for gen in setup.gens:
+        gen_classes |= set(gen.axis_classes)
+    contracted = [cls for cls in sorted(gen_classes) if cls not in out_classes]
+    join_dim = 1
+    grid_join = 1
+    for cls in contracted:
+        join_dim *= setup.class_dim[cls]
+        grid_join *= setup.grid_size(cls)
+    if len(setup.gens) == 2:
+        return density.contraction(
+            setup.gens[0].stats, setup.gens[1].stats, join_dim, grid_join
+        )
+    return density.reduction(setup.gens[0].stats, join_dim, grid_join)
 
 
 def _join_on_shared_classes(setup: TiledSetup) -> Optional[RDD]:

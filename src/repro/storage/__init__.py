@@ -30,6 +30,7 @@ from .csr import CsrMatrix
 from .dense import DenseMatrix, DenseVector
 from .registry import REGISTRY, BuildContext, StorageRegistry
 from .sparse_tiled import SparseTiledMatrix
+from .stats import DensityStats
 from .tiled import TiledMatrix, TiledVector
 
 __all__ = [
@@ -40,6 +41,7 @@ __all__ = [
     "CsrMatrix",
     "DenseMatrix",
     "DenseVector",
+    "DensityStats",
     "REGISTRY",
     "SparseTiledMatrix",
     "StorageRegistry",

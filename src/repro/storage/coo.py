@@ -36,6 +36,10 @@ class CooVector:
     def nnz(self) -> int:
         return len(self.entries)
 
+    def density(self) -> float:
+        """Fill ratio from the stored entries — free, no scan."""
+        return self.nnz / self.length if self.length else 0.0
+
     def sparsify(self) -> Iterator[tuple[int, Any]]:
         return iter(sorted(self.entries.items()))
 

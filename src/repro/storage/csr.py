@@ -80,6 +80,11 @@ class CsrMatrix:
     def nnz(self) -> int:
         return int(self.indptr[-1])
 
+    def density(self) -> float:
+        """Fill ratio from the stored structure — free, no scan."""
+        total = self.rows * self.cols
+        return self.nnz / total if total else 0.0
+
     def sparsify(self) -> Iterator[tuple[tuple[int, int], Any]]:
         """Walk rows in order, yielding ``((i, j), value)`` per stored entry."""
         for i in range(self.rows):

@@ -28,8 +28,10 @@ import numpy as np
 
 from ..comprehension.errors import SacTypeError
 from ..engine import EngineContext, RDD
+from . import stats as density_stats
 from .csc import CscMatrix
 from .registry import REGISTRY, BuildContext
+from .stats import DensityStats
 
 
 class SparseTiledMatrix:
@@ -38,9 +40,24 @@ class SparseTiledMatrix:
     Only tiles containing at least one non-zero are stored.  Tile
     coordinates and shapes follow :class:`~repro.storage.tiled.TiledMatrix`
     exactly (ragged edges included), so the two interoperate in joins.
+
+    ``recorded_nnz`` / ``recorded_tiles`` are the density statistics the
+    cost model plans with: both constructors count them for free while
+    cutting tiles, so :meth:`density` and :meth:`block_density` never
+    have to run a count *action* at planning time.  A matrix wrapped
+    around a raw RDD (no recorded statistics) prices at the dense upper
+    bound until :meth:`density` is called with ``exact=True``.
     """
 
-    def __init__(self, rows: int, cols: int, tile_size: int, tiles: RDD):
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        tile_size: int,
+        tiles: RDD,
+        recorded_nnz: Optional[int] = None,
+        recorded_tiles: Optional[int] = None,
+    ):
         if rows <= 0 or cols <= 0:
             raise SacTypeError(f"matrix dimensions must be positive: {rows}x{cols}")
         if tile_size <= 0:
@@ -49,6 +66,8 @@ class SparseTiledMatrix:
         self.cols = cols
         self.tile_size = tile_size
         self.tiles = tiles
+        self._recorded_nnz = recorded_nnz
+        self._recorded_tiles = recorded_tiles
 
     # -- shape helpers -----------------------------------------------------
 
@@ -90,7 +109,11 @@ class SparseTiledMatrix:
                 if np.any(block):
                     tiles.append(((bi, bj), CscMatrix.from_numpy(block)))
         rdd = engine.parallelize(tiles, num_partitions or engine.default_parallelism)
-        return cls(rows, cols, tile_size, rdd)
+        return cls(
+            rows, cols, tile_size, rdd,
+            recorded_nnz=sum(tile.nnz for _, tile in tiles),
+            recorded_tiles=len(tiles),
+        )
 
     @classmethod
     def from_items(
@@ -116,21 +139,62 @@ class SparseTiledMatrix:
             (coord, CscMatrix.from_items(*helper.tile_shape(*coord), entries))
             for coord, entries in sorted(grid.items())
         ]
+        tiles = [(coord, tile) for coord, tile in tiles if tile.nnz]
         rdd = engine.parallelize(tiles, num_partitions or engine.default_parallelism)
-        return cls(rows, cols, tile_size, rdd)
+        return cls(
+            rows, cols, tile_size, rdd,
+            recorded_nnz=sum(tile.nnz for _, tile in tiles),
+            recorded_tiles=len(tiles),
+        )
 
     # -- materialization -----------------------------------------------------
 
     def nnz(self) -> int:
-        """Total stored non-zeros across all tiles."""
-        return self.tiles.map(lambda kv: kv[1].nnz).sum()
+        """Total stored non-zeros across all tiles (a count action).
+
+        The result is memoized into the recorded statistic, so a later
+        :meth:`density` call reflects it."""
+        self._recorded_nnz = self.tiles.map(lambda kv: kv[1].nnz).sum()
+        return self._recorded_nnz
 
     def num_tiles(self) -> int:
-        """Number of non-empty tiles (≤ grid_rows · grid_cols)."""
-        return self.tiles.count()
+        """Number of non-empty tiles (≤ grid_rows · grid_cols); an action."""
+        self._recorded_tiles = self.tiles.count()
+        return self._recorded_tiles
 
-    def density(self) -> float:
-        return self.nnz() / (self.rows * self.cols)
+    def density(self, exact: bool = False) -> float:
+        """Element-level fill ratio, from the recorded statistic.
+
+        Never triggers a count action unless ``exact=True`` (or no
+        statistic was recorded *and* ``exact`` is requested): the
+        planner calls this at compile time, where launching a job to
+        cost a plan would defeat the purpose.  With no recorded
+        statistic the dense upper bound ``1.0`` is returned — safe for
+        costing, pessimistic for display; ask for ``exact=True`` when
+        the true value matters.
+        """
+        if exact:
+            return self.nnz() / (self.rows * self.cols)
+        if self._recorded_nnz is None:
+            return 1.0
+        return self._recorded_nnz / (self.rows * self.cols)
+
+    def block_density(self, exact: bool = False) -> float:
+        """Fraction of grid tiles stored (the statistic that scales
+        shuffle volume: absent tiles never join or replicate)."""
+        grid = self.grid_rows * self.grid_cols
+        if exact:
+            return self.num_tiles() / grid
+        if self._recorded_tiles is None:
+            return 1.0
+        return self._recorded_tiles / grid
+
+    @property
+    def stats(self) -> DensityStats:
+        """Recorded statistics in the planner's format (dense when unknown)."""
+        if self._recorded_nnz is None and self._recorded_tiles is None:
+            return density_stats.DENSE
+        return DensityStats(self.density(), self.block_density())
 
     def to_numpy(self) -> np.ndarray:
         out = np.zeros((self.rows, self.cols))
@@ -142,11 +206,15 @@ class SparseTiledMatrix:
         return out
 
     def to_dense_tiled(self):
-        """Convert to a dense :class:`TiledMatrix` (materializes zeros)."""
+        """Convert to a dense :class:`TiledMatrix` (materializes zeros
+        inside stored tiles; absent tiles stay absent, and the recorded
+        density statistics carry over)."""
         from .tiled import TiledMatrix
 
         dense = self.tiles.map_values(lambda tile: tile.to_numpy())
-        return TiledMatrix(self.rows, self.cols, self.tile_size, dense)
+        out = TiledMatrix(self.rows, self.cols, self.tile_size, dense)
+        out.stats = self.stats
+        return out
 
     def sparsify(self) -> Iterator[tuple[tuple[int, int], Any]]:
         """Only stored non-zeros exist in the abstract array."""

@@ -1,0 +1,148 @@
+"""Density statistics for sparse-aware planning.
+
+The physical planner prices candidate strategies by the bytes the
+engine's shuffle accountant will measure.  For sparse storages that
+volume is governed by *block density* — the fraction of grid tiles that
+are actually stored (absent tiles never join, never replicate, never
+shuffle) — while the element-level density governs the coordinate path,
+which ships one record per stored non-zero.  :class:`DensityStats`
+carries both, recorded cheaply at construction time so ``density()``
+never has to run a count action at planning time.
+
+Propagation rules (used by the tiled translation rules to annotate
+their results, so chained queries stay density-aware):
+
+* **exact** — transpose, scalar multiply, negation, and any map whose
+  support equals its input's support carry the stats through unchanged.
+* **union bound** — ``x + y`` / ``x - y``: the result's support is
+  contained in the union of the inputs' supports, so densities add
+  (capped at 1).  This is a sound upper bound.
+* **product bound** — ``x * y`` (and ``x / y`` on the numerator): the
+  result annihilates wherever either factor is zero, so the minimum of
+  the input densities bounds the output.  Sound upper bound.
+* **contraction estimate** — a group-by contraction over a shared
+  dimension of size ``l`` (matrix multiply, row sums) uses the
+  expected density under independent uniform placement,
+  ``1 - (1 - d_a · d_b)^l``.  Unlike the linear rules this is an
+  *estimate*, not a bound: adversarially correlated layouts (a dense
+  column meeting a dense row) can exceed it.  The documented accuracy
+  contract — pinned by ``tests/test_density_fuzz.py`` — is that for
+  uniformly placed inputs the estimate never undershoots the true
+  density by more than :data:`CONTRACTION_SLACK`.
+
+Block densities join through the same combinators; additionally every
+tiled join intersects the present-tile sets of its generators, so a
+joined result's block density is also capped by the minimum input block
+density (applied by the rules in :mod:`repro.planner.tiling`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Multiplicative slack the contraction estimate is allowed below the
+#: true density on uniformly placed inputs (see module docstring).
+CONTRACTION_SLACK = 2.0
+
+#: Floor for clamping: estimates must stay positive.
+_MIN = 1e-12
+
+
+def _clamp(value: float) -> float:
+    return min(1.0, max(_MIN, float(value)))
+
+
+@dataclass(frozen=True)
+class DensityStats:
+    """Cheap per-storage sparsity statistics.
+
+    ``density`` is the element-level fill ratio (nnz over logical size)
+    and ``block_density`` the fraction of grid tiles stored.  Both are
+    clamped to ``(0, 1]`` — a zero would make every cost estimate zero,
+    which is never what an *upper bound* should do.
+    """
+
+    density: float = 1.0
+    block_density: float = 1.0
+
+    def __post_init__(self):
+        object.__setattr__(self, "density", _clamp(self.density))
+        object.__setattr__(self, "block_density", _clamp(self.block_density))
+
+    @property
+    def is_dense(self) -> bool:
+        return self.density >= 1.0 and self.block_density >= 1.0
+
+
+#: The statistics of a storage with no sparsity information: the dense
+#: upper bound the cost model used before densities existed.
+DENSE = DensityStats(1.0, 1.0)
+
+
+def of(storage) -> DensityStats:
+    """The storage's recorded/propagated stats, or the dense bound.
+
+    Reads the ``stats`` attribute every tiled storage exposes
+    (:class:`~repro.storage.sparse_tiled.SparseTiledMatrix` records it
+    at construction; dense tiled results carry what the planner
+    propagated).  Unknown storages price densely.
+    """
+    stats = getattr(storage, "stats", None)
+    return stats if isinstance(stats, DensityStats) else DENSE
+
+
+def exact(stats: DensityStats) -> DensityStats:
+    """Support-preserving map (transpose, scalar multiply, negate)."""
+    return stats
+
+
+def union(a: DensityStats, b: DensityStats) -> DensityStats:
+    """Upper bound for ``x + y`` / ``x - y``: supports union."""
+    return DensityStats(
+        min(1.0, a.density + b.density),
+        min(1.0, a.block_density + b.block_density),
+    )
+
+
+def product(a: DensityStats, b: DensityStats) -> DensityStats:
+    """Upper bound for ``x * y``: the result annihilates where either
+    factor does, so each level is bounded by the sparser input."""
+    return DensityStats(
+        min(a.density, b.density),
+        min(a.block_density, b.block_density),
+    )
+
+
+def contraction(
+    a: DensityStats, b: DensityStats, join_dim: int, grid_join: int
+) -> DensityStats:
+    """Expected result density of a sum-contraction over a shared
+    dimension (``join_dim`` elements, ``grid_join`` tile blocks).
+
+    A result element is non-zero when any of its ``join_dim`` addends
+    is; under independent placement each addend fires with probability
+    ``d_a · d_b``.  The same argument at tile granularity gives the
+    block density.  An estimate, not a bound — see the module docstring.
+    """
+    return DensityStats(
+        _fill_after_sum(a.density * b.density, join_dim),
+        _fill_after_sum(a.block_density * b.block_density, grid_join),
+    )
+
+
+def reduction(stats: DensityStats, join_dim: int, grid_join: int) -> DensityStats:
+    """Single-input projection (row/column sums): ``join_dim`` addends
+    per result element, each present with the input's density."""
+    return DensityStats(
+        _fill_after_sum(stats.density, join_dim),
+        _fill_after_sum(stats.block_density, grid_join),
+    )
+
+
+def _fill_after_sum(p: float, terms: int) -> float:
+    """``1 - (1 - p)^terms``: fill ratio after summing ``terms``
+    independent slots that are each non-zero with probability ``p``."""
+    terms = max(1, int(terms))
+    if p >= 1.0:
+        return 1.0
+    return min(1.0, 1.0 - (1.0 - p) ** terms)

@@ -34,6 +34,13 @@ from .registry import REGISTRY, BuildContext
 class TiledMatrix:
     """A matrix partitioned into a distributed grid of dense tiles."""
 
+    #: Optional :class:`~repro.storage.stats.DensityStats` the planner
+    #: propagated onto this result (a dense-tiled matrix can still have
+    #: *absent* tiles when it was produced from sparse inputs — block
+    #: density tracks that).  ``None`` means "no information": the cost
+    #: model prices it at the dense upper bound.
+    stats = None
+
     def __init__(self, rows: int, cols: int, tile_size: int, tiles: RDD):
         if rows <= 0 or cols <= 0:
             raise SacTypeError(f"matrix dimensions must be positive: {rows}x{cols}")
@@ -216,6 +223,9 @@ class TiledMatrix:
 
 class TiledVector:
     """A vector partitioned into a distributed list of dense blocks."""
+
+    #: See :attr:`TiledMatrix.stats`.
+    stats = None
 
     def __init__(self, length: int, tile_size: int, blocks: RDD):
         if length <= 0:

@@ -101,6 +101,114 @@ def test_explain_reports_candidates():
         assert name in text
 
 
+# ----------------------------------------------------------------------
+# Differential: every strategy, dense and block-band sparse inputs
+# ----------------------------------------------------------------------
+
+FORCINGS = [
+    ("replicate", PlannerOptions(group_by_join=True), STRATEGY_REPLICATE),
+    ("tiled-reduce", PlannerOptions(group_by_join=False), STRATEGY_TILED_REDUCE),
+    (
+        "broadcast",
+        PlannerOptions(broadcast_threshold=10**6),
+        STRATEGY_BROADCAST_RIGHT,
+    ),
+]
+
+
+def _block_band(n, tile, seed=0):
+    """Block-diagonal band: one dense tile per grid row (fig4b shapes)."""
+    rng = np.random.default_rng(seed)
+    a = np.zeros((n, n))
+    for bi in range(n // tile):
+        a[bi * tile : (bi + 1) * tile, bi * tile : (bi + 1) * tile] = rng.uniform(
+            1, 2, size=(tile, tile)
+        )
+    return a
+
+
+def _forced_run(n, tile, options, sparse):
+    session = SacSession(cluster=BENCH_CLUSTER, tile_size=tile, options=options)
+    if sparse:
+        A = session.sparse_tiled(_block_band(n, tile, seed=1)).materialize()
+        B = session.sparse_tiled(_block_band(n, tile, seed=2)).materialize()
+    else:
+        A = session.tiled(RNG.uniform(0, 9, size=(n, n))).materialize()
+        B = session.tiled(RNG.uniform(0, 9, size=(n, n))).materialize()
+    compiled = session.compile(MULTIPLY, A=A, B=B, n=n, m=n)
+    snapshot = session.metrics_snapshot()
+    compiled.execute().tiles.count()
+    return compiled, session.metrics_delta(snapshot)
+
+
+@pytest.mark.parametrize("n,tile", FIG4B)
+@pytest.mark.parametrize("sparse", [False, True], ids=["dense", "block-band"])
+@pytest.mark.parametrize("label,options,expected", FORCINGS, ids=[f[0] for f in FORCINGS])
+def test_every_forced_strategy_estimates_within_2x(
+    n, tile, sparse, label, options, expected
+):
+    """Each strategy, forced on dense AND block-band sparse inputs, must
+    predict its measured shuffle bytes within 2x — the sparse cases only
+    hold because the model scales by the recorded block density."""
+    compiled, delta = _forced_run(n, tile, options, sparse)
+    assert compiled.plan.details["strategy"] == expected
+    estimate = compiled.plan.estimate
+    assert estimate is not None and delta.shuffle_bytes > 0
+    ratio = estimate.shuffle_bytes / delta.shuffle_bytes
+    assert 0.5 <= ratio <= 2.0, (
+        f"{label} on {'sparse' if sparse else 'dense'} {n}: estimated "
+        f"{estimate.shuffle_bytes} vs measured {delta.shuffle_bytes} "
+        f"({ratio:.2f}x)"
+    )
+    if sparse:
+        assert "bd=" in estimate.densities
+    else:
+        assert estimate.densities == "dense"
+
+
+def test_block_sparse_default_flips_away_from_replicate():
+    """The acceptance experiment: on a block-diagonal multiply with a
+    16x16 grid, density-aware pricing must flip the default plan away
+    from SUMMA replication, cut measured shuffle bytes at least 2x
+    against forced replication, and stay within 2x of its estimate."""
+    n, tile = 720, 45
+    chosen, chosen_delta = _forced_run(n, tile, PlannerOptions(), sparse=True)
+    strategy = chosen.plan.details["strategy"]
+    assert strategy != STRATEGY_REPLICATE
+    estimate = chosen.plan.estimate
+    ratio = estimate.shuffle_bytes / chosen_delta.shuffle_bytes
+    assert 0.5 <= ratio <= 2.0
+
+    _, replicate_delta = _forced_run(
+        n, tile, PlannerOptions(group_by_join=True), sparse=True
+    )
+    assert chosen_delta.shuffle_bytes * 2 <= replicate_delta.shuffle_bytes
+
+    # Without the recorded statistic the same inputs price densely and
+    # the planner stays with replication — the flip is the statistic's.
+    session = SacSession(cluster=BENCH_CLUSTER, tile_size=tile)
+    from repro.storage import SparseTiledMatrix
+
+    A = session.sparse_tiled(_block_band(n, tile, seed=1))
+    B = session.sparse_tiled(_block_band(n, tile, seed=2))
+    blind = session.compile(
+        MULTIPLY,
+        A=SparseTiledMatrix(n, n, tile, A.tiles),
+        B=SparseTiledMatrix(n, n, tile, B.tiles),
+        n=n, m=n,
+    )
+    assert blind.plan.details["strategy"] == STRATEGY_REPLICATE
+    assert blind.plan.estimate.densities == "dense"
+
+
+def test_sparse_estimated_shuffle_counter_stays_honest():
+    """JobMetrics.estimated_shuffle_bytes must carry the density-scaled
+    estimate, not the dense bound."""
+    compiled, delta = _forced_run(360, 90, PlannerOptions(), sparse=True)
+    assert delta.estimated_shuffle_bytes == compiled.plan.estimate.shuffle_bytes
+    assert 0.5 <= delta.estimated_shuffle_bytes / delta.shuffle_bytes <= 2.0
+
+
 def test_choose_strategy_stable_tie_prefers_replicate():
     def est(strategy, seconds):
         return CostEstimate(

@@ -1,0 +1,181 @@
+"""Property tests for density-aware cost estimates.
+
+Two contracts pin the density scaling in :mod:`repro.planner.cost`:
+
+* estimates are **monotone non-decreasing in density** — for every
+  candidate strategy, a sparser input is never priced above a denser
+  one (bytes, records, broadcast volume, and total time);
+* at density 1.0 every estimate is **byte-identical** to the estimate
+  for an input carrying no density information at all — the scaling is
+  purely multiplicative, so the dense fig4a/fig4b plan choices and
+  counters are provably unchanged by this feature.
+
+Densities are injected by setting the ``stats`` attribute on dense
+tiled matrices; planning re-runs on every compile (the plan cache only
+stores the parse→normalize front half), so each injection is honored.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SacSession
+from repro.engine import BENCH_CLUSTER
+from repro.planner import STRATEGY_COORDINATE, STRATEGY_REPLICATE
+from repro.storage import DensityStats
+from repro.storage import stats as density
+from repro.storage.stats import DENSE
+
+MULTIPLY = (
+    "tiled(n,m)[ ((i,j),+/v) | ((i,k),a) <- A, ((kk,j),b) <- B,"
+    " kk == k, let v = a*b, group by (i,j) ]"
+)
+RNG = np.random.default_rng(21)
+N, TILE = 180, 45
+
+DENSITIES = [0.02, 0.1, 0.3, 0.6, 0.85, 1.0]
+
+
+def _candidates(left_stats, right_stats):
+    session = SacSession(cluster=BENCH_CLUSTER, tile_size=TILE)
+    a = RNG.uniform(0, 1, size=(N, N))
+    b = RNG.uniform(0, 1, size=(N, N))
+    A = session.tiled(a)
+    B = session.tiled(b)
+    if left_stats is not None:
+        A.stats = left_stats
+    if right_stats is not None:
+        B.stats = right_stats
+    compiled = session.compile(MULTIPLY, A=A, B=B, n=N, m=N)
+    assert compiled.plan.candidates
+    return compiled.plan.candidates
+
+
+# ----------------------------------------------------------------------
+# Monotonicity
+# ----------------------------------------------------------------------
+
+
+def test_estimates_monotone_in_density_both_sides():
+    previous = None
+    for d in DENSITIES:
+        stats = DensityStats(d, d)
+        candidates = _candidates(stats, stats)
+        if previous is not None:
+            for name, est in candidates.items():
+                before = previous[name]
+                assert est.shuffle_bytes >= before.shuffle_bytes, name
+                assert est.shuffle_records >= before.shuffle_records, name
+                assert est.broadcast_bytes >= before.broadcast_bytes, name
+                assert est.total_seconds >= before.total_seconds - 1e-12, name
+        previous = candidates
+
+
+def test_estimates_monotone_in_one_side():
+    previous = None
+    fixed = DensityStats(0.4, 0.4)
+    for d in DENSITIES:
+        candidates = _candidates(DensityStats(d, d), fixed)
+        if previous is not None:
+            for name, est in candidates.items():
+                assert est.shuffle_bytes >= previous[name].shuffle_bytes, name
+        previous = candidates
+
+
+# ----------------------------------------------------------------------
+# Byte-identity at density 1.0
+# ----------------------------------------------------------------------
+
+
+def test_density_one_byte_identical_to_unannotated():
+    plain = _candidates(None, None)
+    annotated = _candidates(DensityStats(1.0, 1.0), DensityStats(1.0, 1.0))
+    for name in plain:
+        p, a = plain[name], annotated[name]
+        assert a.shuffle_bytes == p.shuffle_bytes, name
+        assert a.shuffle_records == p.shuffle_records, name
+        assert a.broadcast_bytes == p.broadcast_bytes, name
+        assert a.tasks == p.tasks, name
+        assert a.compute_seconds == p.compute_seconds, name
+        assert a.network_seconds == p.network_seconds, name
+        assert a.launch_seconds == p.launch_seconds, name
+        assert a.densities == p.densities == "dense", name
+
+
+# ----------------------------------------------------------------------
+# Which density level governs which path
+# ----------------------------------------------------------------------
+
+
+def test_element_density_only_moves_the_coordinate_path():
+    """Tiled strategies shuffle densified tiles, so their bytes track
+    *block* density; only the coordinate path ships per-element records."""
+    sparse_elems = _candidates(DensityStats(0.05, 0.5), DensityStats(0.05, 0.5))
+    dense_elems = _candidates(DensityStats(0.95, 0.5), DensityStats(0.95, 0.5))
+    for name in sparse_elems:
+        if name == STRATEGY_COORDINATE:
+            assert (
+                sparse_elems[name].shuffle_bytes < dense_elems[name].shuffle_bytes
+            )
+        else:
+            assert (
+                sparse_elems[name].shuffle_bytes == dense_elems[name].shuffle_bytes
+            ), name
+
+
+def test_block_density_does_not_move_the_coordinate_path():
+    a = _candidates(DensityStats(0.3, 0.1), DensityStats(0.3, 0.1))
+    b = _candidates(DensityStats(0.3, 0.9), DensityStats(0.3, 0.9))
+    assert (
+        a[STRATEGY_COORDINATE].shuffle_bytes == b[STRATEGY_COORDINATE].shuffle_bytes
+    )
+    assert a[STRATEGY_REPLICATE].shuffle_bytes < b[STRATEGY_REPLICATE].shuffle_bytes
+
+
+def test_explain_surfaces_priced_densities():
+    session = SacSession(cluster=BENCH_CLUSTER, tile_size=TILE)
+    A = session.tiled(RNG.uniform(size=(N, N)))
+    B = session.tiled(RNG.uniform(size=(N, N)))
+    A.stats = DensityStats(0.125, 0.25)
+    compiled = session.compile(MULTIPLY, A=A, B=B, n=N, m=N)
+    text = compiled.explain()
+    assert "priced at" in text
+    assert "bd=0.25" in text
+    assert compiled.plan.details["priced_densities"].startswith("left ")
+
+
+# ----------------------------------------------------------------------
+# DensityStats combinator properties
+# ----------------------------------------------------------------------
+
+
+def test_stats_clamped_to_unit_interval():
+    assert DensityStats(2.0, -1.0).density == 1.0
+    assert DensityStats(2.0, -1.0).block_density > 0.0
+    assert DENSE.is_dense
+
+
+def test_union_and_product_bounds():
+    a = DensityStats(0.3, 0.2)
+    b = DensityStats(0.4, 0.5)
+    u = density.union(a, b)
+    assert u.density == pytest.approx(0.7)
+    assert u.block_density == pytest.approx(0.7)
+    assert density.union(DENSE, a).is_dense
+    p = density.product(a, b)
+    assert p.density == pytest.approx(0.3)
+    assert p.block_density == pytest.approx(0.2)
+
+
+def test_contraction_estimate_properties():
+    a = DensityStats(0.2, 0.2)
+    b = DensityStats(0.3, 0.3)
+    c = density.contraction(a, b, join_dim=64, grid_join=4)
+    # Never below a single addend's probability, never above 1.
+    assert a.density * b.density <= c.density <= 1.0
+    assert a.block_density * b.block_density <= c.block_density <= 1.0
+    # More addends fill more.
+    wider = density.contraction(a, b, join_dim=256, grid_join=16)
+    assert wider.density >= c.density
+    assert wider.block_density >= c.block_density
+    # Dense inputs stay dense through any contraction.
+    assert density.contraction(DENSE, DENSE, 7, 3).is_dense

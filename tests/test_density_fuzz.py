@@ -1,0 +1,129 @@
+"""Fuzz the density-statistic propagation through random op chains.
+
+Random sparse matrices flow through random chains of transpose, scalar
+multiply, negate, add, hadamard, and matrix multiply (the
+:mod:`repro.core.ops` wrappers).  After each step the propagated
+:class:`~repro.storage.stats.DensityStats` on the result — obtained
+without running any count action — is compared against the *actual*
+content of the result storage:
+
+* chains of **linear** ops (transpose/scale/negate exact, add union,
+  hadamard product) use sound upper bounds: the propagated densities
+  must never undershoot the truth, asserted strictly;
+* once a **multiply** enters the lineage the contraction rule is an
+  estimate, documented never to undershoot the true density of
+  uniformly placed inputs by more than
+  :data:`~repro.storage.stats.CONTRACTION_SLACK`.
+
+Values are kept strictly positive so sums and products cannot cancel —
+the measured density of a result is then exactly its support size.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import SacSession
+from repro.core import ops
+from repro.engine import TINY_CLUSTER
+from repro.storage import stats as density
+from repro.storage.stats import CONTRACTION_SLACK
+
+N, TILE = 48, 16
+GRID = math.ceil(N / TILE)
+TRIALS = 12
+CHAIN_LENGTH = 4
+
+
+def _sparse_input(session, rng):
+    d = rng.uniform(0.03, 0.35)
+    values = rng.uniform(1, 2, size=(N, N))
+    array = np.where(rng.random((N, N)) < d, values, 0.0)
+    return session.sparse_tiled(array)
+
+
+def _true_stats(result):
+    """Measured element and *stored-tile* densities of a result."""
+    dense = result.to_numpy()
+    true_d = np.count_nonzero(dense) / dense.size
+    stored = result.tiles.count()
+    return true_d, stored / (GRID * GRID)
+
+
+def _apply_random_op(session, rng, pool):
+    """One random step; returns (result, sound) where ``sound`` is True
+    while no contraction estimate has entered the lineage."""
+    op = rng.choice(["transpose", "scale", "negate", "add", "hadamard", "multiply"])
+    a, a_sound = pool[rng.integers(len(pool))]
+    b, b_sound = pool[rng.integers(len(pool))]
+    if op == "transpose":
+        return ops.transpose(session, a), a_sound
+    if op == "scale":
+        return ops.scale(session, a, float(rng.uniform(1, 3))), a_sound
+    if op == "negate":
+        return ops.scale(session, a, -1.0), a_sound
+    if op == "add":
+        return ops.add(session, a, b), a_sound and b_sound
+    if op == "hadamard":
+        return ops.hadamard(session, a, b), a_sound and b_sound
+    return ops.multiply(session, a, b), False
+
+
+@pytest.mark.parametrize("seed", range(TRIALS))
+def test_propagated_stats_bracket_true_density(seed):
+    rng = np.random.default_rng(1000 + seed)
+    session = SacSession(cluster=TINY_CLUSTER, tile_size=TILE)
+    source = _sparse_input(session, rng)
+    # The recorded statistics of the source are exact by construction.
+    true_d, true_bd = _true_stats(source)
+    assert source.stats.density == pytest.approx(true_d)
+    assert source.stats.block_density == pytest.approx(true_bd)
+
+    pool = [(source, True), (_sparse_input(session, rng), True)]
+    for _step in range(CHAIN_LENGTH):
+        result, sound = _apply_random_op(session, rng, pool)
+        stats = density.of(result)
+        true_d, true_bd = _true_stats(result)
+        if sound:
+            # Sound upper bounds: never below the truth.
+            assert stats.density >= true_d - 1e-9, (
+                f"step {_step}: propagated {stats.density} < true {true_d}"
+            )
+            assert stats.block_density >= true_bd - 1e-9, (
+                f"step {_step}: propagated block {stats.block_density} "
+                f"< true {true_bd}"
+            )
+        else:
+            # Contraction estimate: documented slack on uniform inputs.
+            assert stats.density >= true_d / CONTRACTION_SLACK - 1e-9
+            assert stats.block_density >= true_bd / CONTRACTION_SLACK - 1e-9
+        pool.append((result, sound))
+
+
+def test_propagation_runs_no_jobs():
+    """Reading stats off a chained result must launch no engine work."""
+    rng = np.random.default_rng(7)
+    session = SacSession(cluster=TINY_CLUSTER, tile_size=TILE)
+    a = _sparse_input(session, rng)
+    result = ops.transpose(session, ops.scale(session, a, 2.0))
+    before = session.engine.metrics.total.tasks
+    stats = density.of(result)
+    assert not stats.is_dense
+    assert session.engine.metrics.total.tasks == before
+
+
+def test_chain_keeps_costing_sparse():
+    """A transpose result must carry its stats into the next multiply's
+    candidate pricing (the chained-query guarantee)."""
+    rng = np.random.default_rng(8)
+    session = SacSession(cluster=TINY_CLUSTER, tile_size=TILE)
+    a = _sparse_input(session, rng)
+    at = ops.transpose(session, a)
+    compiled = session.compile(
+        "tiled(n,m)[ ((i,j),+/v) | ((i,k),x) <- A, ((kk,j),y) <- B,"
+        " kk == k, let v = x*y, group by (i,j) ]",
+        A=at, B=at, n=N, m=N,
+    )
+    assert compiled.plan.estimate is not None
+    assert compiled.plan.estimate.densities != "dense"

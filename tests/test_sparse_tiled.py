@@ -7,9 +7,10 @@ from repro import SacSession
 from repro.comprehension.errors import SacTypeError
 from repro.engine import EngineContext, TINY_CLUSTER
 from repro.planner import (
-    RULE_COORDINATE, RULE_GROUP_BY_JOIN, RULE_TILED_REDUCE,
+    RULE_COORDINATE, RULE_GROUP_BY_JOIN, RULE_PRESERVE_TILING,
+    RULE_TILED_REDUCE,
 )
-from repro.storage import REGISTRY, CscMatrix, SparseTiledMatrix
+from repro.storage import REGISTRY, CscMatrix, DensityStats, SparseTiledMatrix
 from repro.workloads import rating_matrix
 
 RNG = np.random.default_rng(99)
@@ -253,6 +254,84 @@ def test_sparse_tiled_builder_in_query(session):
     )
     assert isinstance(result, SparseTiledMatrix)
     np.testing.assert_allclose(result.to_numpy(), np.where(a > 2.0, a, 0.0))
+
+
+# ----------------------------------------------------------------------
+# Recorded density statistics
+# ----------------------------------------------------------------------
+
+
+def test_density_is_free_of_jobs(session):
+    """density()/block_density() must read the recorded statistic, not
+    launch a count action."""
+    a = sparse_array(40, 40, density=0.08, seed=20)
+    A = session.sparse_tiled(a)
+    before = session.metrics_snapshot()
+    d = A.density()
+    bd = A.block_density()
+    _ = A.stats
+    delta = session.metrics_delta(before)
+    assert delta.stages == 0 and delta.tasks == 0
+    assert d == np.count_nonzero(a) / a.size
+    assert 0 < bd <= 1.0
+
+
+def test_density_exact_path_runs_and_memoizes(session):
+    a = sparse_array(40, 40, density=0.08, seed=21)
+    # A raw wrapper has no recorded statistics: dense bound until exact.
+    A = session.sparse_tiled(a)
+    raw = SparseTiledMatrix(40, 40, TILE, A.tiles)
+    assert raw.density() == 1.0
+    assert raw.block_density() == 1.0
+    assert raw.stats.is_dense
+    exact = raw.density(exact=True)
+    assert exact == np.count_nonzero(a) / a.size
+    # The exact pass memoizes into the recorded statistic.
+    assert raw.density() == exact
+    assert not raw.stats.is_dense
+
+
+def test_recorded_block_density_value(session):
+    n = 64  # 4x4 grid at TILE=16, two stored tiles
+    a = np.zeros((n, n))
+    a[0, 0], a[40, 40] = 1.0, 2.0
+    A = session.sparse_tiled(a)
+    assert A.block_density() == 2 / 16
+    assert A.stats == DensityStats(2 / (n * n), 2 / 16)
+
+
+def test_transpose_on_sparse_preserves_tiling_and_stats(session):
+    """An annihilating single-generator map over a sparse source is
+    sound to run on dense tiles, and the stats carry through exactly."""
+    a = sparse_array(40, 30, density=0.1, seed=22)
+    A = session.sparse_tiled(a)
+    compiled = session.compile(
+        "tiled(m,n)[ ((j,i), 2.0*v) | ((i,j),v) <- A ]",
+        A=A, n=40, m=30,
+    )
+    assert compiled.plan.rule == RULE_PRESERVE_TILING
+    result = compiled.execute()
+    np.testing.assert_allclose(result.to_numpy(), 2 * a.T)
+    assert result.stats.density == pytest.approx(A.density())
+
+
+def test_add_on_sparse_carries_union_bound(session):
+    """Addition of two density-annotated tiled matrices (a sparse pair
+    handed to the dense rules via to_dense_tiled) propagates the union
+    bound onto the result storage."""
+    a = sparse_array(32, 32, density=0.1, seed=23)
+    b = sparse_array(32, 32, density=0.1, seed=24)
+    A = session.sparse_tiled(a).to_dense_tiled()
+    B = session.sparse_tiled(b).to_dense_tiled()
+    result = session.run(
+        "tiled(n,m)[ ((i,j), x + y) | ((i,j),x) <- A, ((i2,j2),y) <- B,"
+        " i2 == i, j2 == j ]",
+        A=A, B=B, n=32, m=32,
+    )
+    bound = result.stats
+    assert bound.density <= min(1.0, A.stats.density + B.stats.density) + 1e-12
+    true_density = np.count_nonzero(result.to_numpy()) / (32 * 32)
+    assert bound.density >= true_density - 1e-12
 
 
 def test_factorization_with_sparse_ratings(session):
