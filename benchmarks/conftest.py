@@ -58,6 +58,11 @@ PAPER_EXPECTATIONS = {
         "Paper (Fig 4.B): SAC join+group-by up to 3x SLOWER than MLlib; "
         "SAC GBJ up to 6x FASTER than MLlib."
     ),
+    "fig4b-multiplication-skewed": (
+        "Extension (E10): zipfian tile skew concentrates one join key; "
+        "adaptive skew splitting should cut the simulated critical path "
+        ">=2x at identical shuffle volume."
+    ),
     "fig4c-factorization": (
         "Paper (Fig 4.C): SAC (GBJ) up to 3x faster than MLlib for one "
         "gradient-descent iteration."
@@ -147,6 +152,15 @@ def run_measured(engine, fn, repeats: int = 5):
                 "cache_misses": delta.cache_misses,
                 "cache_evicted_bytes": delta.cache_evicted_bytes,
                 "shuffle_reuses": delta.shuffle_reuses,
+                # Critical path through the stages: each stage is at least
+                # as long as its slowest task, whatever the core count.
+                "makespan_seconds": sum(
+                    sc.longest_task_seconds for sc in delta.stage_costs
+                ),
+                "adaptive_decisions": len(delta.adaptive_decisions),
+                "adaptive_kinds": sorted(
+                    {d.kind for d in delta.adaptive_decisions}
+                ),
             }
             best = (wall, sim, delta.shuffle_bytes, counters)
     return best
@@ -219,6 +233,7 @@ def pytest_sessionfinish(session, exitstatus):
         _print_ratios(rows, systems, sizes)
         _print_cache_counters(rows)
         _print_planner_counters(rows)
+        _print_adaptive_counters(rows)
         expectation = PAPER_EXPECTATIONS.get(experiment)
         if expectation:
             print(f"  paper: {expectation}")
@@ -281,6 +296,20 @@ def _print_planner_counters(rows):
             f"  cost model: estimated {estimated / 1e6:.1f}MB shuffle vs "
             f"measured {measured / 1e6:.1f}MB (x{ratio:.2f})"
         )
+    # Per-row audit: estimates that were off by more than 2x in either
+    # direction mark where the model's statistics failed (and where the
+    # adaptive layer has room to correct at runtime).
+    for row in rows:
+        est = row.counters.get("estimated_shuffle_bytes", 0)
+        act = row.counters.get("shuffle_bytes", 0)
+        if est and act:
+            ratio = est / act
+            if ratio > 2.0 or ratio < 0.5:
+                print(
+                    f"  !! cost model off {ratio:.2f}x for "
+                    f"{row.system} @ {row.size}: estimated "
+                    f"{est / 1e6:.1f}MB, measured {act / 1e6:.1f}MB"
+                )
     hits = misses = 0
     for row in rows:
         stats = row.counters.get("compile_caches", {}).get("plan_cache")
@@ -293,6 +322,24 @@ def _print_planner_counters(rows):
             f"  plan cache: {hits} hits / {misses} misses "
             f"({100 * rate:.0f}% hit rate)"
         )
+
+
+def _print_adaptive_counters(rows):
+    """Adaptive (AQE) activity for one experiment, when there was any."""
+    active = [r for r in rows if r.counters.get("adaptive_decisions")]
+    if not active:
+        return
+    total = sum(r.counters["adaptive_decisions"] for r in active)
+    kinds = sorted({k for r in active for k in r.counters.get("adaptive_kinds", [])})
+    print(f"  adaptive: {total} decisions ({', '.join(kinds)})")
+    for row in active:
+        makespan = row.counters.get("makespan_seconds")
+        if makespan:
+            print(
+                f"    {row.system} @ {row.size}: "
+                f"{row.counters['adaptive_decisions']} decisions, "
+                f"critical path {makespan:.3f}s"
+            )
 
 
 @pytest.fixture()

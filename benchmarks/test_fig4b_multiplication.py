@@ -22,11 +22,13 @@ from repro.core import ops
 from repro.engine import BENCH_CLUSTER, PAPER_CLUSTER, EngineContext
 from repro.mllib import BlockMatrix
 from repro.planner import RULE_GROUP_BY_JOIN, RULE_TILED_REDUCE
-from repro.workloads import dense_uniform
+from repro.workloads import dense_uniform, zipf_block_rows
 
 TILE = 90
 SIZES = [180, 360, 540, 720]
 ROUNDS = 2
+SKEW_N = 1080
+SKEW_ALPHA = 2.5
 
 MULTIPLY = (
     "tiled(n,m)[ ((i,j),+/v) | ((i,k),a) <- A, ((kk,j),b) <- B,"
@@ -115,6 +117,71 @@ def test_multiplication_mllib(benchmark, measure, n):
     benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
     wall, sim, shuffled, counters = run_measured(engine, run)
     record("fig4b-multiplication", "MLlib BlockMatrix", n, wall, sim, shuffled, counters)
+
+
+def _skewed_setup(adaptive):
+    """Zipfian tile skew: block row 0 of B (and block column 0 of A) is
+    fully dense, so join key k=0 carries most of the work — the Section
+    5.3 hot-key pathology the adaptive skew splitter attacks."""
+    skewed = zipf_block_rows(SKEW_N, SKEW_N, TILE, alpha=SKEW_ALPHA, seed=7)
+    a, b = skewed.T.copy(), skewed
+    session = SacSession(
+        cluster=PAPER_CLUSTER, tile_size=TILE,
+        options=PlannerOptions(group_by_join=False),
+        runner="serial", adaptive=adaptive,
+    )
+    A = session.sparse_tiled(a)
+    B = session.sparse_tiled(b)
+    compiled = session.compile(MULTIPLY, A=A, B=B, n=SKEW_N, m=SKEW_N)
+    return session, A, B, compiled
+
+
+@pytest.mark.parametrize("adaptive", [False, True], ids=["static", "adaptive"])
+def test_multiplication_skewed(benchmark, measure, adaptive):
+    """E10: skewed multiply with and without adaptive skew splitting."""
+    record, run_measured = measure
+    session, A, B, compiled = _skewed_setup(adaptive)
+
+    def run():
+        session.run(MULTIPLY, A=A, B=B, n=SKEW_N, m=SKEW_N).tiles.count()
+
+    benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    wall, sim, shuffled, counters = run_measured(session.engine, run)
+    counters.update(plan_report(compiled, session))
+    label = "SAC 5.3 adaptive" if adaptive else "SAC 5.3 static"
+    record("fig4b-multiplication-skewed", label, SKEW_N, wall, sim, shuffled, counters)
+    if adaptive:
+        assert counters["adaptive_decisions"] > 0
+        assert "skew-split" in counters["adaptive_kinds"]
+
+
+def test_skewed_adaptive_improves_makespan(measure):
+    """The acceptance bar: splitting the hot partition cuts the simulated
+    critical path >=2x while moving exactly the same shuffle bytes."""
+    _, run_measured = measure
+    makespans, volumes, outputs = {}, {}, {}
+    for adaptive in (False, True):
+        session, A, B, _ = _skewed_setup(adaptive)
+        with session:
+            out = {}
+
+            def run():
+                out["array"] = session.run(
+                    MULTIPLY, A=A, B=B, n=SKEW_N, m=SKEW_N
+                ).to_numpy()
+
+            _, _, _, counters = run_measured(session.engine, run, repeats=1)
+            makespans[adaptive] = counters["makespan_seconds"]
+            volumes[adaptive] = counters["shuffle_bytes"]
+            outputs[adaptive] = out["array"]
+    import numpy as np
+
+    np.testing.assert_allclose(outputs[True], outputs[False], rtol=1e-12)
+    assert volumes[True] == volumes[False]
+    assert makespans[False] / makespans[True] >= 2.0, (
+        f"adaptive makespan {makespans[True]:.3f}s vs "
+        f"static {makespans[False]:.3f}s: improvement under 2x"
+    )
 
 
 def test_multiplication_results_agree():

@@ -20,6 +20,7 @@ running anything.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -128,6 +129,14 @@ class SacSession:
             consults the ``REPRO_RUNNER`` environment variable.
         memory_budget: cached-partition byte cap for a fresh engine's
             block manager (``None`` = unbounded).
+        adaptive: adaptive query execution — measure map outputs at
+            stage boundaries and re-optimize (broadcast downgrades,
+            partition coalescing, skew splits).  ``None`` (default)
+            consults the ``REPRO_ADAPTIVE`` environment variable and
+            otherwise enables it; pass ``False`` for the static planner
+            (byte-identical to the pre-adaptive engine).  When an
+            ``engine`` is supplied, a non-``None`` value overrides that
+            engine's setting.
     """
 
     def __init__(
@@ -139,10 +148,23 @@ class SacSession:
         num_partitions: Optional[int] = None,
         runner: Any = None,
         memory_budget: Optional[int] = None,
+        adaptive: Optional[bool] = None,
     ):
-        self.engine = engine or EngineContext(
-            cluster=cluster, runner=runner, memory_budget=memory_budget
-        )
+        if engine is None:
+            if adaptive is None:
+                env_flag = os.environ.get("REPRO_ADAPTIVE")
+                adaptive = (
+                    env_flag.lower() in ("1", "true", "yes")
+                    if env_flag is not None
+                    else True
+                )
+            engine = EngineContext(
+                cluster=cluster, runner=runner, memory_budget=memory_budget,
+                adaptive=adaptive,
+            )
+        elif adaptive is not None:
+            engine.adaptive.enabled = adaptive
+        self.engine = engine
         self.tile_size = tile_size
         self.options = options or PlannerOptions()
         self.build_context = BuildContext(

@@ -9,6 +9,7 @@ model that converts measured work into simulated time on a configurable
 cluster.
 """
 
+from .adaptive import AdaptiveDecision, AdaptiveManager
 from .block_manager import BlockManager
 from .cluster import BENCH_CLUSTER, PAPER_CLUSTER, TINY_CLUSTER, ClusterSpec
 from .context import Accumulator, Broadcast, EngineContext
@@ -22,10 +23,12 @@ from .scheduler import (
     resolve_runner,
 )
 from .serialization import RecordSizeAccountant
-from .shuffle import Aggregator, ShuffleManager
+from .shuffle import Aggregator, MapOutputStatistics, ShuffleManager
 
 __all__ = [
     "Accumulator",
+    "AdaptiveDecision",
+    "AdaptiveManager",
     "Aggregator",
     "BlockManager",
     "Broadcast",
@@ -35,6 +38,7 @@ __all__ = [
     "GridPartitioner",
     "HashPartitioner",
     "JobMetrics",
+    "MapOutputStatistics",
     "MetricsRegistry",
     "PAPER_CLUSTER",
     "Partitioner",

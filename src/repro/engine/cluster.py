@@ -51,6 +51,23 @@ class ClusterSpec:
     task_launch_overhead: float = 0.004
     io_bandwidth: float = 4.0e9
     compute_scale: float = 1.0
+    #: -- Adaptive-execution (AQE) thresholds ---------------------------
+    #: Largest *measured* per-copy payload the runtime re-optimizer may
+    #: downgrade a join strategy to broadcast for.  Mirrors Spark's
+    #: ``spark.sql.adaptive.autoBroadcastJoinThreshold``.
+    adaptive_broadcast_bytes: int = 32 * 2**20
+    #: Target post-coalesce reduce-partition size: contiguous reduce
+    #: buckets smaller than this merge into one reduce task (never below
+    #: ``total_cores`` tasks, so parallelism is preserved).
+    adaptive_coalesce_bytes: int = 1 * 2**20
+    #: A reduce partition is "skewed" when its measured map-output bytes
+    #: exceed this factor times the median non-empty partition's bytes.
+    adaptive_skew_factor: float = 4.0
+    #: Absolute floor for skew detection: partitions below this size are
+    #: never split, so tiny unit-test shuffles stay untouched.
+    adaptive_skew_min_bytes: int = 256 * 2**10
+    #: Upper bound on how many map tasks one skewed partition fans out to.
+    adaptive_max_splits: int = 16
 
     @property
     def num_executors(self) -> int:

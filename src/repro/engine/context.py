@@ -6,6 +6,7 @@ import os
 import threading
 from typing import Any, Callable, Generic, Iterable, Iterator, Optional, TypeVar
 
+from .adaptive import AdaptiveManager
 from .block_manager import BlockManager
 from .cluster import PAPER_CLUSTER, ClusterSpec
 from .metrics import MetricsRegistry
@@ -78,6 +79,7 @@ class EngineContext:
         default_parallelism: Optional[int] = None,
         memory_budget: Optional[int] = None,
         reuse_shuffles: Optional[bool] = None,
+        adaptive: Optional[bool] = None,
     ):
         self.cluster = cluster
         self.metrics = MetricsRegistry()
@@ -86,11 +88,23 @@ class EngineContext:
             reuse_shuffles = os.environ.get(
                 "REPRO_SHUFFLE_REUSE", ""
             ).lower() in ("1", "true", "yes")
+        if adaptive is None:
+            # Raw engine contexts default to non-adaptive (the historical
+            # behavior); SAC sessions pass an explicit value.  The
+            # environment variable overrides either default for A/B runs.
+            adaptive = os.environ.get(
+                "REPRO_ADAPTIVE", ""
+            ).lower() in ("1", "true", "yes")
         self.block_manager = BlockManager(
             self.metrics, memory_budget, reuse_shuffles=reuse_shuffles
         )
-        self.shuffle_manager = ShuffleManager(self.metrics, self.runner)
-        self.scheduler = DAGScheduler(self.metrics, self.runner)
+        self.adaptive = AdaptiveManager(cluster, self.metrics, enabled=adaptive)
+        self.shuffle_manager = ShuffleManager(
+            self.metrics, self.runner, adaptive=self.adaptive
+        )
+        self.scheduler = DAGScheduler(
+            self.metrics, self.runner, adaptive=self.adaptive
+        )
         self._default_parallelism = default_parallelism or cluster.default_parallelism()
         self._rdd_counter = 0
         self._rdd_counter_lock = threading.Lock()

@@ -63,6 +63,10 @@ class JobMetrics:
     cache_evicted_bytes: int = 0
     shuffle_reuses: int = 0
     stage_costs: list = field(default_factory=list)
+    #: Runtime re-optimizations (:class:`~repro.engine.adaptive.AdaptiveDecision`)
+    #: taken while this job ran: coalesced reduce phases, skew splits,
+    #: join-strategy downgrades.  Empty whenever adaptive execution is off.
+    adaptive_decisions: list = field(default_factory=list)
 
     def merge(self, other: "JobMetrics") -> None:
         """Accumulate ``other``'s counters into this one."""
@@ -79,6 +83,7 @@ class JobMetrics:
         self.cache_evicted_bytes += other.cache_evicted_bytes
         self.shuffle_reuses += other.shuffle_reuses
         self.stage_costs.extend(other.stage_costs)
+        self.adaptive_decisions.extend(other.adaptive_decisions)
 
     def simulated_time(self, cluster: ClusterSpec) -> float:
         """Time this job would take on ``cluster`` (seconds).
@@ -273,6 +278,11 @@ class MetricsRegistry:
         with self._lock:
             self.current.estimated_shuffle_bytes += nbytes
 
+    def record_adaptive_decision(self, decision) -> None:
+        """Record one runtime re-optimization taken by the adaptive layer."""
+        with self._lock:
+            self.current.adaptive_decisions.append(decision)
+
     # -- BlockManager counters ------------------------------------------
 
     def record_cache_hit(self) -> None:
@@ -329,4 +339,7 @@ class MetricsRegistry:
         delta.cache_evicted_bytes -= snapshot.cache_evicted_bytes
         delta.shuffle_reuses -= snapshot.shuffle_reuses
         delta.stage_costs = delta.stage_costs[len(snapshot.stage_costs):]
+        delta.adaptive_decisions = delta.adaptive_decisions[
+            len(snapshot.adaptive_decisions):
+        ]
         return delta

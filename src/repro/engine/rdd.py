@@ -21,7 +21,7 @@ import threading
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Optional, TypeVar
 
 from .partitioner import HashPartitioner, Partitioner
-from .shuffle import Aggregator
+from .shuffle import Aggregator, MapOutputStatistics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .context import EngineContext
@@ -150,18 +150,25 @@ class RDD:
 
     def map(self, func: Callable[[T], U]) -> "RDD":
         """Element-wise transform."""
-        return MapPartitionsRDD(self, lambda _i, it: map(func, it))
+        return MapPartitionsRDD(
+            self, lambda _i, it: map(func, it), elementwise=True
+        )
 
     def flat_map(self, func: Callable[[T], Iterable[U]]) -> "RDD":
         """Element-wise transform producing zero or more outputs each."""
         return MapPartitionsRDD(
-            self, lambda _i, it: itertools.chain.from_iterable(map(func, it))
+            self,
+            lambda _i, it: itertools.chain.from_iterable(map(func, it)),
+            elementwise=True,
         )
 
     def filter(self, predicate: Callable[[T], bool]) -> "RDD":
         """Keep elements satisfying ``predicate`` (keyed partitioning survives)."""
         return MapPartitionsRDD(
-            self, lambda _i, it: filter(predicate, it), preserves_partitioning=True
+            self,
+            lambda _i, it: filter(predicate, it),
+            preserves_partitioning=True,
+            elementwise=True,
         )
 
     def map_values(self, func: Callable[[V], U]) -> "RDD":
@@ -170,6 +177,7 @@ class RDD:
             self,
             lambda _i, it: ((k, func(v)) for k, v in it),
             preserves_partitioning=True,
+            elementwise=True,
         )
 
     def flat_map_values(self, func: Callable[[V], Iterable[U]]) -> "RDD":
@@ -180,7 +188,9 @@ class RDD:
                 for out in func(value):
                     yield key, out
 
-        return MapPartitionsRDD(self, expand, preserves_partitioning=True)
+        return MapPartitionsRDD(
+            self, expand, preserves_partitioning=True, elementwise=True
+        )
 
     def keys(self) -> "RDD":
         return self.map(lambda kv: kv[0])
@@ -370,7 +380,14 @@ class RDD:
         return self
 
     def sample(self, fraction: float, seed: int = 17) -> "RDD":
-        """Bernoulli sample of each partition (deterministic per seed)."""
+        """Bernoulli sample of each partition (deterministic per seed).
+
+        Sampling is filter-shaped — it only drops records — so a keyed
+        parent's partitioner survives and a later shuffle on the same
+        keys stays local.  (Not ``elementwise``: the per-partition RNG is
+        seeded by the split index, so replaying a slice of a partition
+        under a different fan-out would change which records survive.)
+        """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
 
@@ -380,7 +397,7 @@ class RDD:
             rng = random.Random(seed * 1_000_003 + idx)
             return (item for item in it if rng.random() < fraction)
 
-        return MapPartitionsRDD(self, sampler)
+        return MapPartitionsRDD(self, sampler, preserves_partitioning=True)
 
     # ------------------------------------------------------------------
     # Wide (shuffling) transformations
@@ -501,7 +518,15 @@ class RDD:
                 for rv in right:
                     yield lv, rv
 
-        return self.cogroup(other, num_partitions).flat_map_values(flatten)
+        cogrouped = self.cogroup(other, num_partitions)
+        if isinstance(cogrouped, CoGroupedRDD):
+            # The grouped record feeding ``flatten`` is a cartesian
+            # product, so the adaptive skew splitter may break one side's
+            # value list into chunks without changing the joined pair
+            # multiset.  The cogroup object itself never escapes this
+            # method, so the marking cannot affect user-visible grouping.
+            cogrouped._splittable_values = True
+        return cogrouped.flat_map_values(flatten)
 
     def left_outer_join(
         self, other: "RDD", num_partitions: Optional[int] = None
@@ -787,13 +812,23 @@ def _slice(items: list, num_partitions: int) -> list[list]:
 
 
 class MapPartitionsRDD(RDD):
-    """Narrow transformation: ``func(index, parent_iterator)`` per split."""
+    """Narrow transformation: ``func(index, parent_iterator)`` per split.
+
+    ``elementwise`` marks functions that treat the partition as a plain
+    record stream — each input record contributes outputs independently
+    of its neighbours and of the split index (``map``, ``filter``,
+    ``flat_map`` and the ``*_values`` variants).  The adaptive skew
+    splitter may re-run such a function over a *slice* of a partition;
+    opaque ``map_partitions`` functions (stateful scans, index-seeded
+    samplers) never get that flag and stop the splitter's lineage walk.
+    """
 
     def __init__(
         self,
         parent: RDD,
         func: Callable[[int, Iterator], Iterator],
         preserves_partitioning: bool = False,
+        elementwise: bool = False,
     ):
         super().__init__(
             parent.ctx,
@@ -802,6 +837,7 @@ class MapPartitionsRDD(RDD):
         )
         self._parent = parent
         self._func = func
+        self._elementwise = elementwise
 
     @property
     def dependencies(self) -> list[RDD]:
@@ -834,11 +870,24 @@ class ShuffledRDD(RDD):
         self._parent = parent
         self._aggregator = aggregator
         self._output: Optional[list[list[tuple[Any, Any]]]] = None
+        self._map_stats: Optional[MapOutputStatistics] = None
         self._materialize_lock = threading.Lock()
 
     @property
     def dependencies(self) -> list[RDD]:
         return [self._parent]
+
+    def output_statistics(self) -> Optional[MapOutputStatistics]:
+        """Measured per-partition map-output histogram of this shuffle.
+
+        Materializes the shuffle if needed (this is how the adaptive
+        layer "runs wide stages one at a time": the upstream stage must
+        finish before its statistics can steer the next one).  ``None``
+        when the data never crossed the shuffle machinery (co-partitioned
+        local combine).
+        """
+        self._materialize()
+        return self._map_stats
 
     def prepare_execution(self, seen: set[int]) -> None:
         if id(self) in seen:
@@ -872,14 +921,24 @@ class ShuffledRDD(RDD):
             self._parent.id, self.partitioner, self._aggregator
         )
         if reused is not None:
+            self._map_stats = getattr(reused, "stats", None)
             return reused
-        map_outputs = (
+        map_outputs: Any = (
             self._parent.iterator(i)
             for i in range(self._parent.num_partitions)
         )
+        adaptive = getattr(self.ctx, "adaptive", None)
+        if adaptive is not None and adaptive.enabled:
+            # Skew mitigation: if an upstream materialized stage reports
+            # a hot partition, fan its map work out over several tasks
+            # whose partial combines merge in the reduce phase below.
+            expanded = adaptive.plan_map_splits(self._parent)
+            if expanded is not None:
+                map_outputs = expanded
         output = self.ctx.shuffle_manager.shuffle(
             map_outputs, self.partitioner, self._aggregator
         )
+        self._map_stats = getattr(output, "stats", None)
         blocks.register_shuffle(
             self._parent.id, self.partitioner, self._aggregator, output
         )
@@ -933,10 +992,32 @@ class CoGroupedRDD(RDD):
         self._parents = parents
         self._output: Optional[list[list[tuple[Any, Any]]]] = None
         self._materialize_lock = threading.Lock()
+        #: Per-parent map-output histograms, filled during materialization
+        #: (``None`` for a parent that never crossed the shuffle).
+        self._parent_stats: list[Optional[MapOutputStatistics]] = []
+        #: Set by :meth:`RDD.join`: the grouped value lists only ever feed
+        #: a cartesian flatten, so the skew splitter may chunk them.
+        self._splittable_values = False
 
     @property
     def dependencies(self) -> list[RDD]:
         return list(self._parents)
+
+    def output_statistics(self) -> Optional[MapOutputStatistics]:
+        """Combined per-partition histogram over all shuffled parents.
+
+        ``None`` when any parent was co-partitioned (its bytes never
+        moved, so there is no measured histogram to combine).
+        """
+        self._materialize()
+        if len(self._parent_stats) != len(self._parents):
+            return None
+        combined: Optional[MapOutputStatistics] = None
+        for stats in self._parent_stats:
+            if stats is None:
+                return None
+            combined = stats if combined is None else combined.merged_with(stats)
+        return combined
 
     def prepare_execution(self, seen: set[int]) -> None:
         if id(self) in seen:
@@ -982,15 +1063,18 @@ class CoGroupedRDD(RDD):
                 parent.num_partitions,
                 [timer.own_seconds for _records, timer in results],
             )
+            self._parent_stats.append(None)
             return [records for records, _timer in results]
         blocks = self.ctx.block_manager
         reused = blocks.lookup_shuffle(parent.id, self.partitioner, None)
         if reused is not None:
+            self._parent_stats.append(getattr(reused, "stats", None))
             return reused
         map_outputs = (parent.iterator(i) for i in range(parent.num_partitions))
         buckets = self.ctx.shuffle_manager.shuffle(
             map_outputs, self.partitioner, None
         )
+        self._parent_stats.append(getattr(buckets, "stats", None))
         blocks.register_shuffle(parent.id, self.partitioner, None, buckets)
         return buckets
 

@@ -157,9 +157,14 @@ def resolve_runner(
 class DAGScheduler:
     """Executes actions as jobs of timed per-partition tasks."""
 
-    def __init__(self, metrics, runner: TaskRunner | None = None):
+    def __init__(self, metrics, runner: TaskRunner | None = None, adaptive=None):
         self._metrics = metrics
         self._runner = runner or SerialTaskRunner()
+        #: Optional :class:`~repro.engine.adaptive.AdaptiveManager`; when
+        #: enabled, jobs are prepared (wide stages materialized one at a
+        #: time, bottom-up) even under the serial runner, so each stage's
+        #: measured statistics exist before the next stage launches.
+        self._adaptive = adaptive
 
     @property
     def runner(self) -> TaskRunner:
@@ -188,7 +193,8 @@ class DAGScheduler:
             return task
 
         with self._metrics.job(description):
-            if self._runner.parallel:
+            adaptive_on = self._adaptive is not None and self._adaptive.enabled
+            if self._runner.parallel or adaptive_on:
                 rdd.prepare_execution(set())
             tasks = [make_task(split) for split in range(rdd.num_partitions)]
             results = self._runner.run_stage(tasks)

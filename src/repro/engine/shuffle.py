@@ -41,6 +41,64 @@ from .scheduler import SerialTaskRunner, TaskRunner
 from .serialization import RecordSizeAccountant
 
 
+@dataclass(frozen=True)
+class MapOutputStatistics:
+    """Per-reduce-partition histogram of one shuffle's map output.
+
+    Collected unconditionally during the map phase of every shuffle: each
+    map task prices its buckets separately through the same
+    :class:`RecordSizeAccountant` that priced the whole partition before,
+    so ``sum(bytes_per_partition)`` is integer-identical to the recorded
+    ``shuffle_bytes`` contribution and collecting the histogram never
+    perturbs a counter.  The adaptive layer reads these numbers to decide
+    coalescing, skew splitting, and join-strategy downgrades.
+    """
+
+    bytes_per_partition: tuple[int, ...]
+    records_per_partition: tuple[int, ...]
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.bytes_per_partition)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_per_partition)
+
+    @property
+    def total_records(self) -> int:
+        return sum(self.records_per_partition)
+
+    def merged_with(self, other: "MapOutputStatistics") -> "MapOutputStatistics":
+        """Elementwise sum with another shuffle's histogram (cogroups)."""
+        return MapOutputStatistics(
+            tuple(a + b for a, b in zip(self.bytes_per_partition,
+                                        other.bytes_per_partition)),
+            tuple(a + b for a, b in zip(self.records_per_partition,
+                                        other.records_per_partition)),
+        )
+
+    def summary(self) -> str:
+        nonzero = [b for b in self.bytes_per_partition if b]
+        top = max(self.bytes_per_partition) if self.bytes_per_partition else 0
+        return (
+            f"{self.num_partitions} partitions, {self.total_bytes} bytes "
+            f"({len(nonzero)} non-empty, largest {top})"
+        )
+
+
+class ShuffleResult(list):
+    """The reduce-side buckets of one shuffle, list-compatible.
+
+    Behaves exactly like the ``list[list[record]]`` the manager always
+    returned; the map-output histogram rides along as :attr:`stats` so
+    callers that want it (the adaptive layer) can read it without a
+    signature change anywhere else.
+    """
+
+    stats: Optional[MapOutputStatistics] = None
+
+
 @dataclass
 class Aggregator:
     """Spark-style map/reduce-side combining functions.
@@ -59,9 +117,19 @@ class Aggregator:
 class ShuffleManager:
     """Executes shuffles and records their measured volume."""
 
-    def __init__(self, metrics: MetricsRegistry, runner: Optional[TaskRunner] = None):
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        runner: Optional[TaskRunner] = None,
+        adaptive=None,
+    ):
         self._metrics = metrics
         self._runner = runner or SerialTaskRunner()
+        #: Optional :class:`~repro.engine.adaptive.AdaptiveManager`; when
+        #: present and enabled it may regroup the reduce phase (partition
+        #: coalescing).  ``None`` (or disabled) reproduces the seed
+        #: behavior exactly.
+        self._adaptive = adaptive
 
     def shuffle(
         self,
@@ -101,46 +169,77 @@ class ShuffleManager:
                     partition = partitioner.partition
                     for record in records:
                         local_buckets[partition(record[0])].append(record)
-                    nbytes = accountant.batch_size(records)
-                return local_buckets, len(records), nbytes, timer
+                    # Price each bucket separately: the accountant sums
+                    # memoized per-record sizes, so the per-bucket split
+                    # adds up to exactly the single batch_size(records)
+                    # call it replaces — the histogram is free.
+                    bucket_bytes = [
+                        accountant.batch_size(bucket) if bucket else 0
+                        for bucket in local_buckets
+                    ]
+                return local_buckets, bucket_bytes, len(records), timer
 
             return map_task
 
         map_tasks = [make_map_task(it) for it in map_outputs]
         map_results = self._runner.run_stage(map_tasks)
 
-        buckets: list[list[tuple[Any, Any]]] = [[] for _ in range(num_reducers)]
+        buckets = ShuffleResult([] for _ in range(num_reducers))
+        partition_bytes = [0] * num_reducers
+        partition_records = [0] * num_reducers
         map_task_seconds: list[float] = []
         shuffled_records = 0
         shuffled_bytes = 0
-        for local_buckets, num_records, nbytes, timer in map_results:
+        for local_buckets, bucket_bytes, num_records, timer in map_results:
             for reducer, local in enumerate(local_buckets):
                 if local:
                     buckets[reducer].extend(local)
+                    partition_bytes[reducer] += bucket_bytes[reducer]
+                    partition_records[reducer] += len(local)
             shuffled_records += num_records
-            shuffled_bytes += nbytes
+            shuffled_bytes += sum(bucket_bytes)
             map_task_seconds.append(timer.own_seconds)
 
+        stats = MapOutputStatistics(tuple(partition_bytes), tuple(partition_records))
+        buckets.stats = stats
         self._metrics.record_stage(len(map_task_seconds), map_task_seconds)
         self._metrics.record_shuffle(shuffled_records, shuffled_bytes)
 
         if aggregator is None:
             return buckets
 
-        def make_reduce_task(bucket: list):
+        # Reduce phase.  By default one task merges one bucket; the
+        # adaptive layer may coalesce contiguous small buckets into one
+        # task (logical partition count is unchanged — each bucket is
+        # still merged separately and lands back in its own slot).
+        groups: Optional[list[list[int]]] = None
+        if self._adaptive is not None:
+            groups = self._adaptive.plan_reduce_groups(stats)
+        if groups is None:
+            groups = [[reducer] for reducer in range(num_reducers)]
+
+        def make_reduce_task(bucket_ids: list[int]):
             def reduce_task():
                 with self._metrics.task_timer() as timer:
-                    merged_bucket = self._merge_reduce_side(bucket, aggregator)
-                return merged_bucket, timer
+                    merged_buckets = [
+                        (bid, self._merge_reduce_side(buckets[bid], aggregator))
+                        for bid in bucket_ids
+                    ]
+                return merged_buckets, timer
 
             return reduce_task
 
         reduce_results = self._runner.run_stage(
-            [make_reduce_task(bucket) for bucket in buckets]
+            [make_reduce_task(group) for group in groups]
         )
-        merged = [bucket for bucket, _timer in reduce_results]
-        reduce_task_seconds = [timer.own_seconds for _bucket, timer in reduce_results]
-        self._metrics.record_stage(len(merged), reduce_task_seconds)
+        merged = ShuffleResult([None] * num_reducers)
+        merged.stats = stats
+        reduce_task_seconds = []
+        for merged_buckets, timer in reduce_results:
+            for bid, merged_bucket in merged_buckets:
+                merged[bid] = merged_bucket
+            reduce_task_seconds.append(timer.own_seconds)
+        self._metrics.record_stage(len(groups), reduce_task_seconds)
         return merged
 
     @staticmethod

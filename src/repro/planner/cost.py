@@ -148,11 +148,27 @@ def _density_note(left: DensityStats, right: DensityStats) -> str:
 
 
 class CostModel:
-    """Estimates candidate costs for one group-by-join-shaped query."""
+    """Estimates candidate costs for one group-by-join-shaped query.
 
-    def __init__(self, cluster: ClusterSpec, default_parallelism: int):
+    ``measured`` — optional runtime feedback from the adaptive layer:
+    ``id(storage) → (measured bytes, measured stored records)``.  When a
+    generator's storage has an entry, the measured stored-tile count
+    replaces the recorded density statistic (block density =
+    stored / dense tiles), so a model refreshed mid-job or on a later
+    compile prices with facts instead of estimates.  For a storage whose
+    recorded statistic was already exact, the override is the identical
+    number and every estimate is unchanged.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        default_parallelism: int,
+        measured: Optional[dict[int, tuple[int, int]]] = None,
+    ):
         self.cluster = cluster
         self.parallelism = default_parallelism
+        self.measured = measured or {}
 
     # -- shared quantities ------------------------------------------------
 
@@ -174,6 +190,12 @@ class CostModel:
         stats = gen.stats if isinstance(
             getattr(gen, "stats", None), DensityStats
         ) else DENSE
+        if self.measured:
+            entry = self.measured.get(id(getattr(gen, "storage", None)))
+            if entry is not None:
+                _nbytes, records = entry
+                block_density = min(1.0, records / tiles) if tiles else 1.0
+                stats = DensityStats(block_density, block_density)
         return elements * ELEMENT_BYTES, tiles, partitions, stats
 
     def _compute(self, flops: float, calls: float, parallelism: int) -> float:

@@ -33,8 +33,9 @@ from typing import Optional
 import numpy as np
 
 from ..comprehension.ast import Var, free_vars, to_source
+from ..engine import GridPartitioner, RecordSizeAccountant
+from ..engine.adaptive import AdaptiveDecision
 from ..comprehension.monoids import Monoid, monoid
-from ..engine import GridPartitioner
 from ..storage import stats as density
 from .kernels import combine_tiles, contract
 from .plan import Plan, RULE_GROUP_BY_JOIN
@@ -364,3 +365,145 @@ def build_broadcast_plan(
         ),
         details={"broadcast_side": side, "monoid": mon.name},
     )
+
+
+# ----------------------------------------------------------------------
+# Adaptive re-optimization (runtime strategy downgrade)
+# ----------------------------------------------------------------------
+
+
+def measure_gen_size(gen: ResolvedGen) -> Optional[tuple[int, int]]:
+    """Measured (bytes, stored records) of a generator's *materialized*
+    tiles, or None when they are not materialized yet.
+
+    Walks the generator's tile lineage through narrow maps to its base:
+    a parallelized collection (driver-resident, so already "materialized")
+    or a wide dependency that has run its shuffle.  The base's stored
+    records are priced with a fresh :class:`RecordSizeAccountant` on the
+    driver — no job runs and no engine counter moves, so measurement is
+    free to call before deciding whether to re-plan.  The record count at
+    the base equals the stored-tile count (the narrow chain above it is
+    the storage's 1:1 tile finishing, not a replication).
+    """
+    from ..engine.rdd import (
+        CoGroupedRDD, MapPartitionsRDD, ParallelCollectionRDD, ShuffledRDD,
+    )
+
+    node = gen.tiles
+    while isinstance(node, MapPartitionsRDD):
+        node = node._parent
+    if isinstance(node, ParallelCollectionRDD):
+        partitions = node._slices
+    elif isinstance(node, (ShuffledRDD, CoGroupedRDD)):
+        partitions = node._output
+        if partitions is None:
+            return None
+    else:
+        return None
+    accountant = RecordSizeAccountant()
+    nbytes = 0
+    records = 0
+    for part in partitions:
+        part = list(part)
+        nbytes += accountant.batch_size(part)
+        records += len(part)
+    return nbytes, records
+
+
+def reconsider_join_strategy(
+    engine,
+    setup: TiledSetup,
+    match: GbjMatch,
+    candidates: dict,
+    chosen: str,
+    builder: str,
+    args: tuple,
+) -> Optional[tuple]:
+    """Re-cost a cost-chosen group-by-join from measured input sizes.
+
+    Called by the planner's adaptive wrapper just before the plan's
+    thunk runs.  Both sides are measured (when materialized), the
+    measurements are recorded on the engine's
+    :class:`~repro.engine.adaptive.AdaptiveManager` so *later* compiles
+    price with facts, and the candidates are re-costed with the measured
+    overrides.  Only a **downgrade to broadcast** is acted on — the
+    cheap, low-risk correction when a side turned out far smaller than
+    its recorded statistics claimed (e.g. stats were stripped, or an
+    upstream filter was underestimated) — and only when the measured
+    side actually fits the cluster's per-copy broadcast budget.
+
+    Returns ``(replacement_thunk, new_strategy)`` or None to keep the
+    compile-time choice.
+    """
+    from .cost import (
+        STRATEGY_BROADCAST_LEFT, STRATEGY_BROADCAST_RIGHT, STRATEGY_REPLICATE,
+        STRATEGY_TILED_REDUCE, CostModel, choose_strategy,
+    )
+
+    manager = getattr(engine, "adaptive", None)
+    if manager is None or not manager.enabled:
+        return None
+    fresh = False
+    for gen in (match.left_gen, match.right_gen):
+        storage = getattr(gen, "storage", None)
+        if storage is None:
+            continue
+        size = measure_gen_size(gen)
+        if size is not None:
+            manager.record_measured_size(storage, *size)
+            fresh = True
+    if not fresh:
+        return None
+
+    model = CostModel(
+        engine.cluster, engine.default_parallelism,
+        measured=manager.measured_sizes,
+    )
+    recost = model.candidates(setup, match)
+    allowed = [
+        STRATEGY_REPLICATE, STRATEGY_BROADCAST_LEFT,
+        STRATEGY_BROADCAST_RIGHT, STRATEGY_TILED_REDUCE,
+    ]
+    new_strategy = choose_strategy(recost, allowed)
+    if new_strategy == chosen or new_strategy not in (
+        STRATEGY_BROADCAST_LEFT, STRATEGY_BROADCAST_RIGHT
+    ):
+        return None
+    estimate = recost[new_strategy]
+    per_copy = estimate.broadcast_bytes / (1 + engine.cluster.num_executors)
+    if per_copy > engine.cluster.adaptive_broadcast_bytes:
+        return None
+
+    side = "left" if new_strategy == STRATEGY_BROADCAST_LEFT else "right"
+    small = match.left_gen if side == "left" else match.right_gen
+    small_size = manager.measured_sizes.get(id(small.storage))
+    old_estimate = candidates.get(chosen)
+    manager.record_decision(AdaptiveDecision(
+        kind="broadcast-downgrade",
+        description=(
+            f"measured {side} side fits the broadcast budget; "
+            f"switched {chosen} -> {new_strategy} before launching the join"
+        ),
+        measured={
+            "side": side,
+            "side_bytes": small_size[0] if small_size else None,
+            "side_tiles": small_size[1] if small_size else None,
+            "per_copy_bytes": int(per_copy),
+            "new_total_seconds": round(estimate.total_seconds, 6),
+            "new_shuffle_bytes": estimate.shuffle_bytes,
+        },
+        estimate={
+            "strategy": chosen,
+            "total_seconds": (
+                round(old_estimate.total_seconds, 6) if old_estimate else None
+            ),
+            "shuffle_bytes": (
+                old_estimate.shuffle_bytes if old_estimate else None
+            ),
+        },
+    ))
+    replacement = build_broadcast_plan(
+        setup, match, builder, args, side,
+        reduce_partitions=estimate.reduce_partitions,
+    )
+    return replacement.thunk, new_strategy

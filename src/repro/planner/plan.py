@@ -39,6 +39,10 @@ class Plan:
     estimate: Optional["CostEstimate"] = None
     #: Every candidate's estimate, keyed by strategy name.
     candidates: dict[str, "CostEstimate"] = field(default_factory=dict)
+    #: Adaptive-execution decisions (strategy downgrades, partition
+    #: coalescing, skew splits) that fired while this plan ran; populated
+    #: at execute time when the engine's adaptive layer is enabled.
+    adaptive_decisions: list = field(default_factory=list)
 
     def execute(self) -> Any:
         """Run the plan and return the built storage/value."""
@@ -50,6 +54,10 @@ class Plan:
         if self.details:
             for key, value in sorted(self.details.items()):
                 lines.append(f"{key}: {value}")
+        if self.adaptive_decisions:
+            lines.append("adaptive decisions:")
+            for decision in self.adaptive_decisions:
+                lines.append(f"  - {decision.summary()}")
         if self.candidates:
             lines.append("cost estimates (chosen first):")
             chosen = self.estimate.strategy if self.estimate else None

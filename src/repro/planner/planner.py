@@ -42,6 +42,7 @@ from .cost import (
 )
 from .groupby_join import (
     GbjMatch, build_broadcast_plan, build_replicate_plan, match_group_by_join,
+    reconsider_join_strategy,
 )
 from .plan import Plan, RULE_LOCAL
 from .rdd_rules import plan_coordinate
@@ -248,8 +249,16 @@ def _plan_group_by(
     """
     match = match_group_by_join(setup)
     candidates: dict[str, CostEstimate] = {}
+    # Cost-chosen = no explicit override pinned the strategy; only then
+    # may the adaptive layer second-guess the choice at execute time.
+    cost_chosen = (
+        options.group_by_join is None and options.broadcast_threshold is None
+    )
     if match is not None:
-        model = CostModel(engine.cluster, engine.default_parallelism)
+        model = CostModel(
+            engine.cluster, engine.default_parallelism,
+            measured=_adaptive_measurements(engine),
+        )
         candidates = model.candidates(setup, match)
         strategy = _choose_gbj_strategy(options, match, candidates)
         plan: Optional[Plan] = None
@@ -262,7 +271,13 @@ def _plan_group_by(
                 reduce_partitions=candidates[strategy].reduce_partitions,
             )
         if plan is not None:
-            return _attach_estimates(plan, strategy, candidates)
+            _attach_estimates(plan, strategy, candidates)
+            if cost_chosen and strategy == STRATEGY_REPLICATE:
+                _install_adaptive_reconsideration(
+                    plan, setup, match, candidates, strategy,
+                    engine, builder, args,
+                )
+            return plan
 
     plan = plan_tiled_reduce(setup, builder, args)
     if plan is None and match is not None and options.group_by_join is not False:
@@ -273,6 +288,11 @@ def _plan_group_by(
         return _attach_estimates(plan, STRATEGY_REPLICATE, candidates)
     if plan is not None and candidates:
         _attach_estimates(plan, STRATEGY_TILED_REDUCE, candidates)
+        if match is not None and cost_chosen:
+            _install_adaptive_reconsideration(
+                plan, setup, match, candidates, STRATEGY_TILED_REDUCE,
+                engine, builder, args,
+            )
     return plan
 
 
@@ -315,6 +335,60 @@ def _attach_estimates(
     plan.details["strategy"] = strategy
     if plan.estimate is not None:
         plan.details["priced_densities"] = plan.estimate.densities
+    return plan
+
+
+def _adaptive_measurements(engine: EngineContext) -> Optional[dict]:
+    """Measured input sizes for the compile-time cost model, when the
+    adaptive layer is on and has recorded any — so a query compiled
+    *after* an adaptive correction prices with the measured facts and
+    picks the cheap plan up front instead of re-correcting at runtime."""
+    manager = getattr(engine, "adaptive", None)
+    if manager is not None and manager.enabled and manager.measured_sizes:
+        return manager.measured_sizes
+    return None
+
+
+def _install_adaptive_reconsideration(
+    plan: Plan,
+    setup,
+    match,
+    candidates: dict[str, CostEstimate],
+    strategy: str,
+    engine: EngineContext,
+    builder: str,
+    args: tuple,
+) -> Plan:
+    """Wrap the plan's thunk with the stage-boundary re-optimization.
+
+    At execute time — when upstream stages have materialized and real
+    sizes exist — the join strategy is reconsidered from measurements
+    (:func:`~repro.planner.groupby_join.reconsider_join_strategy`) and
+    a broadcast downgrade replaces the planned program if it fires.
+    Every adaptive decision recorded while the plan runs (downgrades,
+    but also the engine's skew splits and partition coalescing) is
+    sliced onto ``plan.adaptive_decisions`` for ``explain()``.
+    """
+    manager = getattr(engine, "adaptive", None)
+    if manager is None or not manager.enabled:
+        return plan
+    inner = plan.thunk
+
+    def thunk():
+        start = len(manager.decisions)
+        replacement = reconsider_join_strategy(
+            engine, setup, match, candidates, strategy, builder, args
+        )
+        if replacement is not None:
+            new_thunk, new_strategy = replacement
+            plan.details["adaptive_strategy"] = new_strategy
+            result = new_thunk()
+        else:
+            result = inner()
+        plan.adaptive_decisions = list(manager.decisions[start:])
+        return result
+
+    plan.thunk = thunk
     return plan
 
 

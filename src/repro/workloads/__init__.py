@@ -2,7 +2,7 @@
 
 from .generators import (
     adjacency_matrix, dense_uniform, factor_matrix, rating_matrix,
-    regression_data,
+    regression_data, zipf_block_rows,
 )
 
 __all__ = [
@@ -11,4 +11,5 @@ __all__ = [
     "factor_matrix",
     "rating_matrix",
     "regression_data",
+    "zipf_block_rows",
 ]

@@ -45,6 +45,41 @@ def adjacency_matrix(n: int, edge_probability: float = 0.2, seed: int = 0) -> np
     return adj
 
 
+def zipf_block_rows(
+    rows: int,
+    cols: int,
+    tile_size: int,
+    alpha: float = 1.5,
+    seed: int = 0,
+    low: float = 0.0,
+    high: float = 10.0,
+) -> np.ndarray:
+    """Skewed sparse matrix: tile density decays zipf-like by block row.
+
+    Block row ``r`` keeps a ``1/(r+1)^alpha`` fraction of its tiles
+    (kept tiles are fully dense, dropped tiles all-zero), so the first
+    block row is fully populated and the tail is sparse — the hot-key
+    shape behind the paper's Section 5.3 skew discussion: joining on a
+    dimension whose first block carries most of the data funnels most
+    partial products through one reducer.  Values of kept tiles are
+    uniform in ``[low, high)``; everything is seeded.
+    """
+    rng = np.random.default_rng(seed)
+    out = np.zeros((rows, cols))
+    grid_rows = -(-rows // tile_size)
+    grid_cols = -(-cols // tile_size)
+    for r in range(grid_rows):
+        keep = 1.0 / float(r + 1) ** alpha
+        for c in range(grid_cols):
+            if r == 0 or rng.random() < keep:
+                r0, c0 = r * tile_size, c * tile_size
+                r1, c1 = min(r0 + tile_size, rows), min(c0 + tile_size, cols)
+                out[r0:r1, c0:c1] = rng.uniform(
+                    low, high, size=(r1 - r0, c1 - c0)
+                )
+    return out
+
+
 def regression_data(
     samples: int, features: int, noise: float = 0.1, seed: int = 0
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

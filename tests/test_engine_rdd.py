@@ -357,3 +357,61 @@ def test_lazy_until_action(ctx):
     calls = []
     ctx.parallelize(range(3), 1).map(calls.append)  # no action
     assert calls == []
+
+
+# ----------------------------------------------------------------------
+# Partitioner preservation (no redundant shuffles on narrow lineages)
+# ----------------------------------------------------------------------
+
+
+def test_filter_shaped_narrow_ops_preserve_partitioner(ctx):
+    partitioner = HashPartitioner(4)
+    base = ctx.parallelize([(i % 8, i) for i in range(64)], 3).partition_by(
+        partitioner
+    )
+    assert base.partitioner is partitioner
+    # Record-dropping/value-rewriting ops keep keys intact, so placement
+    # survives them; key-changing or index-dependent ops must not claim it.
+    assert base.filter(lambda kv: kv[1] % 2 == 0).partitioner is partitioner
+    assert base.map_values(lambda v: v + 1).partitioner is partitioner
+    assert base.flat_map_values(lambda v: [v, v]).partitioner is partitioner
+    assert base.sample(0.5, seed=3).partitioner is partitioner
+    assert base.map(lambda kv: kv).partitioner is None
+    assert base.keys().partitioner is None
+    assert base.distinct().partitioner is not partitioner
+    assert base.zip_with_index().partitioner is None
+
+
+def test_sample_preserves_placement_correctly(ctx):
+    partitioner = HashPartitioner(4)
+    rdd = ctx.parallelize([(i % 8, i) for i in range(200)], 3).partition_by(
+        partitioner
+    )
+    sampled = rdd.sample(0.5, seed=11)
+    for split in range(sampled.num_partitions):
+        for key, _value in sampled.iterator(split):
+            assert partitioner.partition(key) == split
+
+
+def test_partitioned_lineage_shuffles_exactly_once(ctx):
+    """An RDD already hashed by an equal partitioner feeds reduce_by_key
+    through narrow ops without a second shuffle: bytes move once."""
+    partitioner = HashPartitioner(4)
+    data = [(i % 8, i) for i in range(400)]
+    snapshot = ctx.metrics.snapshot()
+    placed = ctx.parallelize(data, 3).partition_by(partitioner)
+    placed.count()
+    first = ctx.metrics.delta_since(snapshot).shuffle_bytes
+    assert first > 0
+    narrowed = placed.sample(0.9, seed=5).map_values(lambda v: v * 2)
+    reduced = narrowed.reduce_by_key(lambda a, b: a + b, num_partitions=4)
+    result = dict(reduced.collect())
+    delta = ctx.metrics.delta_since(snapshot)
+    # Only the explicit partition_by shuffled; the reduce combined in place.
+    assert delta.shuffle_bytes == first
+    expected = {}
+    sampled = [kv for split in range(narrowed.num_partitions)
+               for kv in narrowed.iterator(split)]
+    for key, value in sampled:
+        expected[key] = expected.get(key, 0) + value
+    assert result == expected

@@ -275,3 +275,84 @@ def test_serial_runner_is_default_and_not_parallel():
     assert isinstance(ctx.runner, SerialTaskRunner)
     assert ctx.runner.parallel is False
     assert ThreadedTaskRunner.parallel is True
+
+
+# ----------------------------------------------------------------------
+# Map-output statistics (the adaptive layer's measurement substrate)
+# ----------------------------------------------------------------------
+
+
+def _histogram_run(runner):
+    """One partition_by shuffle with known keys; returns the pieces the
+    histogram assertions need."""
+    from repro.engine import HashPartitioner
+
+    with EngineContext(cluster=TINY_CLUSTER, runner=runner) as ctx:
+        data = [(i % 5, "x" * (8 * (i % 5 + 1))) for i in range(200)]
+        rdd = ctx.parallelize(data, 8)
+        snapshot = ctx.metrics.snapshot()
+        shuffled = rdd.partition_by(HashPartitioner(6))
+        output = [shuffled.iterator(p) for p in range(6)]
+        buckets = [list(part) for part in output]
+        delta = ctx.metrics.delta_since(snapshot)
+        stats = shuffled.output_statistics()
+    return buckets, delta, stats
+
+
+@pytest.mark.parametrize(
+    "runner_factory",
+    [SerialTaskRunner, lambda: ThreadedTaskRunner(max_workers=4)],
+    ids=["serial", "threads"],
+)
+def test_map_output_statistics_histogram(runner_factory):
+    """The per-partition histogram is exact: records per bucket match the
+    actual reduce output, and the byte/record totals match the engine's
+    (fast-path) shuffle counters — the histogram costs nothing extra."""
+    buckets, delta, stats = _histogram_run(runner_factory())
+    assert stats is not None
+    assert stats.num_partitions == 6
+    assert list(stats.records_per_partition) == [len(b) for b in buckets]
+    assert stats.total_records == delta.shuffle_records == 200
+    assert stats.total_bytes == delta.shuffle_bytes > 0
+    # Each key's 40 records share one bucket; larger-valued keys weigh more.
+    nonzero = [b for b in stats.bytes_per_partition if b]
+    assert len(nonzero) == 5  # 5 distinct keys over 6 buckets
+    assert len(set(nonzero)) == 5  # distinct value sizes -> distinct weights
+
+
+def test_map_output_statistics_identical_serial_vs_threaded():
+    results = [
+        _histogram_run(factory())
+        for factory in (SerialTaskRunner, lambda: ThreadedTaskRunner(max_workers=4))
+    ]
+    (_, _, serial_stats), (_, _, threaded_stats) = results
+    assert serial_stats == threaded_stats
+
+
+def test_adaptive_flag_counter_parity():
+    """On a workload with no skew and well-sized partitions, the adaptive
+    engine takes no action: every counter matches the adaptive-off run
+    (which is the seed engine's exact code path), and the off run records
+    no decisions."""
+    n = 75
+    a = dense_uniform(n, n, seed=11)
+    b = dense_uniform(n, n, seed=12)
+    outputs, counters, decisions = [], [], []
+    for adaptive in (False, True):
+        with SacSession(
+            tile_size=25, runner=SerialTaskRunner(),
+            options=PlannerOptions(group_by_join=False), adaptive=adaptive,
+        ) as session:
+            A = session.tiled(a).materialize()
+            B = session.tiled(b).materialize()
+            snapshot = session.metrics_snapshot()
+            result = session.run(MULTIPLY, A=A, B=B, n=n, m=n).to_numpy()
+            delta = session.metrics_delta(snapshot)
+        outputs.append(result)
+        counters.append((delta.stages, delta.tasks, delta.shuffles,
+                         delta.shuffle_records, delta.shuffle_bytes))
+        decisions.append(delta.adaptive_decisions)
+    np.testing.assert_array_equal(outputs[0], outputs[1])
+    np.testing.assert_allclose(outputs[0], a @ b)
+    assert counters[0] == counters[1]
+    assert decisions == [[], []]
