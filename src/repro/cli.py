@@ -117,6 +117,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the compilation report instead of executing",
     )
     parser.add_argument(
+        "--json", action="store_true",
+        help="with --explain: emit the plan (rule, strategy, pass trace, "
+             "logical and physical IR) as JSON instead of the text report",
+    )
+    parser.add_argument(
         "--output", metavar="FILE",
         help="save the result to a .npy file (default: print a summary)",
     )
@@ -146,8 +151,17 @@ def main(argv: list[str] | None = None) -> int:
         return _run_loops(session, args, env)
 
     if args.explain:
-        print(session.explain(args.query, env))
+        if args.json:
+            import json
+
+            compiled = session.compile(args.query, env)
+            print(json.dumps(compiled.plan.to_dict(), indent=2))
+        else:
+            print(session.explain(args.query, env))
         return 0
+
+    if args.json:
+        raise SystemExit("--json requires --explain")
 
     result = session.run(args.query, env)
 
@@ -176,10 +190,21 @@ def _run_loops(session: SacSession, args, env: dict[str, Any]) -> int:
     program = args.query
     statements = translate(program)
     if args.explain:
-        for statement in statements:
-            print(f"-- {statement.target}")
-            print(session.explain(statement.source, env))
-            print()
+        if args.json:
+            import json
+
+            plans = {
+                statement.target: session.compile(
+                    statement.source, env
+                ).plan.to_dict()
+                for statement in statements
+            }
+            print(json.dumps(plans, indent=2))
+        else:
+            for statement in statements:
+                print(f"-- {statement.target}")
+                print(session.explain(statement.source, env))
+                print()
         return 0
     for statement in statements:
         env[statement.target] = session.run(statement.source, env)

@@ -32,7 +32,7 @@ from ..comprehension import (
     Expr, FreshNames, Interpreter, desugar, normalize, parse,
 )
 from ..engine import PAPER_CLUSTER, ClusterSpec, EngineContext, RDD
-from ..planner import Plan, PlannerOptions, plan_query
+from ..planner import Plan, PlannerOptions, cse_enabled, plan_query
 from ..planner.codegen import explain as explain_plan
 from ..storage import TiledMatrix, TiledVector
 from ..storage.registry import REGISTRY, BuildContext
@@ -179,6 +179,12 @@ class SacSession:
         # environment, so a cached compile closes over fresh storages.
         self._parse_cache = _LruCache(512)
         self._plan_cache = _LruCache(256)
+        # Whole-Plan reuse across compiles, keyed by the plan's IR
+        # fingerprint (only set when common-subplan elimination is on).
+        # Handing back the earlier Plan object lets repeated steps of an
+        # iterative workload share lowered RDD lineages — and therefore
+        # the shuffle outputs the CSE pass marked for reuse.
+        self._compiled_plan_cache = _LruCache(64)
 
     def _parse_cached(self, query: str) -> Expr:
         cached = self._parse_cache.get(query)
@@ -225,6 +231,14 @@ class SacSession:
     def _plan_cache_key(
         self, query: str, full_env: dict[str, Any]
     ) -> Optional[tuple]:
+        """Cache key for the parse→normalize front half and plan reuse.
+
+        Besides the query text and binding signatures, the key carries
+        everything else a compile's outcome depends on: the planner
+        option switches (strategy overrides, CSE) and whether adaptive
+        re-optimization is armed — so toggling any of those between
+        compiles can never serve a stale cached result.
+        """
         try:
             bindings = tuple(
                 sorted(
@@ -232,7 +246,13 @@ class SacSession:
                     for name, value in full_env.items()
                 )
             )
-            return (query, bindings)
+            manager = getattr(self.engine, "adaptive", None)
+            return (
+                query,
+                bindings,
+                self.options.cache_signature(),
+                bool(manager is not None and manager.enabled),
+            )
         except TypeError:  # unsortable/unhashable binding: skip the cache
             return None
 
@@ -274,6 +294,17 @@ class SacSession:
         plan = plan_query(
             normalized, full_env, self.engine, self.build_context, self.options
         )
+        # With CSE on, lowering fingerprints reusable plans; an earlier
+        # compile with the same key + fingerprint produced a Plan whose
+        # lowered lineages (and marked shuffle outputs) this one can
+        # share outright.
+        if key is not None and plan.fingerprint and cse_enabled(self.options):
+            swap_key = (key, plan.fingerprint)
+            prior = self._compiled_plan_cache.get(swap_key)
+            if prior is not None:
+                plan = prior
+            else:
+                self._compiled_plan_cache.put(swap_key, plan)
         return CompiledQuery(query, parsed, normalized, plan)
 
     def compile_stats(self) -> dict[str, dict[str, int]]:
@@ -281,6 +312,7 @@ class SacSession:
         return {
             "parse_cache": self._parse_cache.stats(),
             "plan_cache": self._plan_cache.stats(),
+            "compiled_plan_cache": self._compiled_plan_cache.stats(),
         }
 
     def run(self, query: str, env: Optional[dict[str, Any]] = None, **bindings: Any) -> Any:

@@ -190,6 +190,7 @@ class BlockManager:
         parent_id: int,
         partitioner: Partitioner,
         aggregator: Optional[Aggregator],
+        opt_in: bool = False,
     ) -> Optional[list[list[tuple[Any, Any]]]]:
         """A retained equal shuffle's output, or ``None``.
 
@@ -197,8 +198,12 @@ class BlockManager:
         *same* aggregator object (combining functions cannot be compared
         structurally) — or no aggregator on either side, which makes all
         plain re-partitions of a parent interchangeable.
+
+        ``opt_in`` admits a single lookup even when the engine-wide
+        ``reuse_shuffles`` flag is off — used by the planner's CSE pass,
+        which marks exactly the lineages whose reuse it proved safe.
         """
-        if not self._reuse_shuffles:
+        if not (self._reuse_shuffles or opt_in):
             return None
         with self._lock:
             for entry in self._shuffles.get(parent_id, ()):
@@ -213,9 +218,10 @@ class BlockManager:
         partitioner: Partitioner,
         aggregator: Optional[Aggregator],
         output: list[list[tuple[Any, Any]]],
+        opt_in: bool = False,
     ) -> None:
         """Retain a finished shuffle's output for later equal shuffles."""
-        if not self._reuse_shuffles:
+        if not (self._reuse_shuffles or opt_in):
             return
         with self._lock:
             self._shuffles.setdefault(parent_id, []).append(

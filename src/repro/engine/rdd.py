@@ -55,6 +55,11 @@ class RDD:
         #: the network, as in Spark).
         self.partitioner = partitioner
         self._cached = False
+        #: Per-lineage opt-in to shuffle-output reuse (set by the
+        #: planner's CSE pass via :meth:`mark_shuffle_reuse`); lets the
+        #: BlockManager retain/serve this RDD's map outputs even when
+        #: the engine-wide ``reuse_shuffles`` flag is off.
+        self._reuse_opt_in = False
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -68,6 +73,26 @@ class RDD:
     def dependencies(self) -> list["RDD"]:
         """Direct parent RDDs in the lineage graph."""
         return []
+
+    def mark_shuffle_reuse(self) -> None:
+        """Opt this RDD's whole lineage into shuffle-output reuse.
+
+        A shuffle consuming a marked RDD registers its map outputs with
+        the BlockManager and equal later shuffles over the same marked
+        parent are served from them — regardless of the engine-wide
+        ``reuse_shuffles`` setting.  Only the planner should call this,
+        and only for plans whose IR fingerprint proves that re-executing
+        reads the very same storages.
+        """
+        seen: set[int] = set()
+        stack: list["RDD"] = [self]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            node._reuse_opt_in = True
+            stack.extend(node.dependencies)
 
     def compute(self, split: int) -> Iterator:
         """Produce the records of partition ``split``."""
@@ -917,8 +942,10 @@ class ShuffledRDD(RDD):
         if self._parent.partitioner == self.partitioner:
             return self._local_combine()
         blocks = self.ctx.block_manager
+        opt_in = self._reuse_opt_in or self._parent._reuse_opt_in
         reused = blocks.lookup_shuffle(
-            self._parent.id, self.partitioner, self._aggregator
+            self._parent.id, self.partitioner, self._aggregator,
+            opt_in=opt_in,
         )
         if reused is not None:
             self._map_stats = getattr(reused, "stats", None)
@@ -940,7 +967,8 @@ class ShuffledRDD(RDD):
         )
         self._map_stats = getattr(output, "stats", None)
         blocks.register_shuffle(
-            self._parent.id, self.partitioner, self._aggregator, output
+            self._parent.id, self.partitioner, self._aggregator, output,
+            opt_in=opt_in,
         )
         return output
 
@@ -1066,7 +1094,10 @@ class CoGroupedRDD(RDD):
             self._parent_stats.append(None)
             return [records for records, _timer in results]
         blocks = self.ctx.block_manager
-        reused = blocks.lookup_shuffle(parent.id, self.partitioner, None)
+        opt_in = self._reuse_opt_in or parent._reuse_opt_in
+        reused = blocks.lookup_shuffle(
+            parent.id, self.partitioner, None, opt_in=opt_in
+        )
         if reused is not None:
             self._parent_stats.append(getattr(reused, "stats", None))
             return reused
@@ -1075,7 +1106,9 @@ class CoGroupedRDD(RDD):
             map_outputs, self.partitioner, None
         )
         self._parent_stats.append(getattr(buckets, "stats", None))
-        blocks.register_shuffle(parent.id, self.partitioner, None, buckets)
+        blocks.register_shuffle(
+            parent.id, self.partitioner, None, buckets, opt_in=opt_in
+        )
         return buckets
 
     def _run_cogroup(self) -> list[list[tuple[Any, Any]]]:

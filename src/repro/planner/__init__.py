@@ -1,9 +1,12 @@
 """Translation of array comprehensions to distributed engine plans.
 
-Implements the paper's translation scheme: Section 4's generic RDD rules
-(13/14) in :mod:`rdd_rules`, Section 5's block-array rules in
-:mod:`tiling` (5.1–5.3) and :mod:`groupby_join` (5.4), with rule
-dispatch in :mod:`planner` and NumPy tile kernels in :mod:`kernels`.
+Implements the paper's translation scheme over an explicit two-level
+plan IR (:mod:`ir`): Section 4's generic RDD rules (13/14) in
+:mod:`rdd_rules`, Section 5's block-array rules in :mod:`tiling`
+(5.1–5.3) and :mod:`groupby_join` (5.4), all *emitting IR nodes*; the
+named pass pipeline (:mod:`passes`) decides and annotates, the single
+lowering site (:mod:`lower`) builds the RDD program, and :mod:`planner`
+composes the two.  NumPy tile kernels live in :mod:`kernels`.
 """
 
 from .analysis import CompInfo, GenInfo, JoinCond, ReductionSlot, analyze
@@ -13,10 +16,12 @@ from .cost import (
     STRATEGY_COORDINATE, STRATEGY_REPLICATE, STRATEGY_TILED_REDUCE,
     choose_strategy,
 )
+from .ir import IRNode, PassTraceEntry
 from .kernels import (
     KernelUnsupported, compile_vectorized, compile_vectorized_cached, contract,
     gather,
 )
+from .passes import PassManager, PlanState, cse_enabled, default_passes
 from .plan import (
     Plan, RULE_COORDINATE, RULE_GROUP_BY_JOIN, RULE_LOCAL, RULE_LOCAL_CODEGEN,
     RULE_PRESERVE_TILING, RULE_TILED_REDUCE, RULE_TILED_SHUFFLE,
@@ -25,6 +30,10 @@ from .planner import PlannerOptions, plan_query
 
 __all__ = [
     "CompInfo",
+    "IRNode",
+    "PassManager",
+    "PassTraceEntry",
+    "PlanState",
     "CostEstimate",
     "CostModel",
     "GenInfo",
@@ -47,6 +56,8 @@ __all__ = [
     "ReductionSlot",
     "analyze",
     "choose_strategy",
+    "cse_enabled",
+    "default_passes",
     "compile_vectorized",
     "compile_vectorized_cached",
     "contract",

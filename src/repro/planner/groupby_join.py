@@ -21,8 +21,9 @@ Matching and building are split so the planner can *cost* the
 candidates first: :func:`match_group_by_join` recognizes the pattern
 and returns a :class:`GbjMatch` carrying the quantities the cost model
 needs (grids, dimensions, partition counts via the generators), then
-:func:`build_replicate_plan` / :func:`build_broadcast_plan` emit the
-chosen physical plan.
+:func:`emit_replicate` / :func:`emit_broadcast` emit the chosen
+physical IR node, which :mod:`repro.planner.lower` turns into the RDD
+program.
 """
 
 from __future__ import annotations
@@ -30,17 +31,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
 from ..comprehension.ast import Var, free_vars, to_source
-from ..engine import GridPartitioner, RecordSizeAccountant
+from ..engine import RecordSizeAccountant
 from ..engine.adaptive import AdaptiveDecision
 from ..comprehension.monoids import Monoid, monoid
 from ..storage import stats as density
-from .kernels import combine_tiles, contract
-from .plan import Plan, RULE_GROUP_BY_JOIN
+from .cost import (
+    STRATEGY_BROADCAST_LEFT, STRATEGY_BROADCAST_RIGHT, STRATEGY_REPLICATE,
+)
+from .ir import (
+    IRNode, OP_ASSEMBLE, OP_BROADCAST, OP_GROUP_BY_JOIN, OP_REPLICATE,
+    scan_gen_node,
+)
+from .plan import RULE_GROUP_BY_JOIN
 from .tiling import (
-    ResolvedGen, TiledSetup, _drop_if_dense, _out_classes, _result_storage,
+    ResolvedGen, TiledSetup, _drop_if_dense, _out_classes, assemble_sig,
 )
 
 #: Bytes per float64 element (kept in sync with cost.ELEMENT_BYTES).
@@ -202,90 +207,84 @@ def _match_stats(match: GbjMatch):
     )
 
 
-def build_replicate_plan(
+def _gbj_sig(match: GbjMatch) -> tuple:
+    """Semantic signature of the matched contraction."""
+    return (
+        ("term", to_source(match.term)),
+        ("monoid", match.mon.name),
+        ("axes", match.left_axes, match.right_axes, match.out_axes),
+        ("positions", match.left_row_axis, match.left_join_axis,
+         match.right_col_axis, match.right_join_axis),
+        ("grid", match.grid_rows, match.grid_cols, match.grid_join),
+    )
+
+
+def emit_replicate(
     setup: TiledSetup, match: GbjMatch, builder: str, args: tuple
-) -> Plan:
+) -> IRNode:
     """The SUMMA-style translation: replicate row/column tile bands."""
-    left_gen, right_gen = match.left_gen, match.right_gen
-    grid_rows, grid_cols = match.grid_rows, match.grid_cols
-    left_row_axis, left_join_axis = match.left_row_axis, match.left_join_axis
-    right_col_axis, right_join_axis = match.right_col_axis, match.right_join_axis
-    left_axes, right_axes, out_axes = match.left_axes, match.right_axes, match.out_axes
-    term, mon, value_vars = match.term, match.mon, match.value_vars
-
-    def replicate_left(record):
-        coords, tile = record
-        row = coords[left_row_axis]
-        k = coords[left_join_axis]
-        return [((row, q), (k, tile)) for q in range(grid_cols)]
-
-    def replicate_right(record):
-        coords, tile = record
-        col = coords[right_col_axis]
-        k = coords[right_join_axis]
-        return [((p, col), (k, tile)) for p in range(grid_rows)]
-
-    left_rdd = left_gen.tile_records().flat_map(replicate_left)
-    right_rdd = right_gen.tile_records().flat_map(replicate_right)
-
-    def reduce_destination(record):
-        key, (left_tiles, right_tiles) = record
-        by_k: dict[int, list[np.ndarray]] = {}
-        for k, tile in right_tiles:
-            by_k.setdefault(k, []).append(tile)
-        out: Optional[np.ndarray] = None
-        for k, left_tile in left_tiles:
-            for right_tile in by_k.get(k, ()):
-                partial = contract(
-                    left_tile, right_tile, left_axes, right_axes, out_axes,
-                    term, mon, (value_vars[0], value_vars[1]),
-                )
-                out = partial if out is None else combine_tiles(mon, out, partial)
-        if out is None:
-            return None
-        return key, out
-
-    def build():
-        engine = left_gen.tiles.ctx
-        partitioner = GridPartitioner(
-            grid_rows, grid_cols, engine.default_parallelism
-        )
-        cogrouped = left_rdd.cogroup(right_rdd, partitioner=partitioner)
-        tiles_rdd = (
-            cogrouped.map(reduce_destination).filter(lambda r: r is not None)
-        )
-        return _result_storage(
-            setup, builder, args, tiles_rdd, stats=_match_stats(match)
-        )
-
-    return Plan(
+    left_scan = scan_gen_node(match.left_gen)
+    right_scan = scan_gen_node(match.right_gen)
+    left_rep = IRNode(
+        op=OP_REPLICATE,
+        children=(left_scan,),
+        sig=(("axis", match.left_row_axis, match.left_join_axis),
+             ("copies", match.grid_cols)),
+        label="rows",
+    )
+    right_rep = IRNode(
+        op=OP_REPLICATE,
+        children=(right_scan,),
+        sig=(("axis", match.right_col_axis, match.right_join_axis),
+             ("copies", match.grid_rows)),
+        label="cols",
+    )
+    join = IRNode(
+        op=OP_GROUP_BY_JOIN,
+        children=(left_rep, right_rep),
+        sig=_gbj_sig(match) + (("strategy", STRATEGY_REPLICATE),),
+        attrs={"strategy": STRATEGY_REPLICATE, "monoid": match.mon.name},
+        label="summa",
+    )
+    root = IRNode(
+        op=OP_ASSEMBLE,
+        children=(join,),
+        sig=assemble_sig(setup, builder, args),
+    )
+    root.attrs.update(
         rule=RULE_GROUP_BY_JOIN,
+        builder=builder,
+        strategy=STRATEGY_REPLICATE,
+        reusable=True,
         description=(
             "group-by-join (SUMMA): replicate row/column tile bands, "
             "cogroup on result coordinates, contract reducer-side"
         ),
-        thunk=build,
         pseudocode=(
             "Tiled(n, m, rdd[ (k, V) | (k, (__a, __b)) <- As.cogroup(Bs) ])\n"
             "As = A.tiles.flatMap { ((i,k),a) => (0 until m/N).map(q => ((gx(i,k),q),(kx(i,k),a))) }\n"
             "Bs = B.tiles.flatMap { ((kk,j),b) => (0 until n/N).map(p => ((p,gy(kk,j)),(ky(kk,j),b))) }\n"
-            f"V accumulates ⊕/{to_source(term)} over matching tile pairs"
+            f"V accumulates ⊕/{to_source(match.term)} over matching tile pairs"
         ),
         details={
-            "replication": f"A x{grid_cols}, B x{grid_rows}",
-            "monoid": mon.name,
+            "replication": f"A x{match.grid_cols}, B x{match.grid_rows}",
+            "monoid": match.mon.name,
         },
+        payload=dict(
+            setup=setup, match=match, builder=builder, args=args,
+        ),
     )
+    return root
 
 
-def build_broadcast_plan(
+def emit_broadcast(
     setup: TiledSetup,
     match: GbjMatch,
     builder: str,
     args: tuple,
     side: str,
     reduce_partitions: Optional[int] = None,
-) -> Plan:
+) -> IRNode:
     """Map-side join: broadcast the small ``side``, stream the large side.
 
     ``reduce_partitions`` is the cost model's recommended partition
@@ -293,78 +292,57 @@ def build_broadcast_plan(
     partitioning when omitted).
     """
     small_is_left = side == "left"
+    strategy = (
+        STRATEGY_BROADCAST_LEFT if small_is_left else STRATEGY_BROADCAST_RIGHT
+    )
     small = match.left_gen if small_is_left else match.right_gen
     large = match.right_gen if small_is_left else match.left_gen
-    left_row_axis, left_join_axis = match.left_row_axis, match.left_join_axis
-    right_col_axis, right_join_axis = match.right_col_axis, match.right_join_axis
-    left_axes, right_axes, out_axes = match.left_axes, match.right_axes, match.out_axes
-    term, mon, value_vars = match.term, match.mon, match.value_vars
-
-    def build():
-        engine = large.tiles.ctx
-        # Collect and broadcast the small side, keyed by its join coord.
-        by_join: dict[int, list] = {}
-        if small_is_left:
-            for coords, tile in small.tile_records().collect():
-                by_join.setdefault(coords[left_join_axis], []).append(
-                    (coords[left_row_axis], tile)
-                )
-        else:
-            for coords, tile in small.tile_records().collect():
-                by_join.setdefault(coords[right_join_axis], []).append(
-                    (coords[right_col_axis], tile)
-                )
-        broadcast = engine.broadcast(by_join)
-
-        def contract_large(record):
-            coords, big_tile = record
-            out = []
-            if small_is_left:
-                k = coords[right_join_axis]
-                col = coords[right_col_axis]
-                for row, small_tile in broadcast.value.get(k, ()):
-                    partial = contract(
-                        small_tile, big_tile, left_axes, right_axes, out_axes,
-                        term, mon, (value_vars[0], value_vars[1]),
-                    )
-                    out.append(((row, col), partial))
-            else:
-                k = coords[left_join_axis]
-                row = coords[left_row_axis]
-                for col, small_tile in broadcast.value.get(k, ()):
-                    partial = contract(
-                        big_tile, small_tile, left_axes, right_axes, out_axes,
-                        term, mon, (value_vars[0], value_vars[1]),
-                    )
-                    out.append(((row, col), partial))
-            return out
-
-        tiles_rdd = (
-            large.tile_records()
-            .flat_map(contract_large)
-            .reduce_by_key(
-                lambda a, b: combine_tiles(mon, a, b),
-                num_partitions=reduce_partitions,
-            )
-        )
-        return _result_storage(
-            setup, builder, args, tiles_rdd, stats=_match_stats(match)
-        )
-
-    return Plan(
+    small_node = IRNode(
+        op=OP_BROADCAST,
+        children=(scan_gen_node(small),),
+        sig=(("side", side),),
+        label=side,
+    )
+    large_node = scan_gen_node(large)
+    children = (
+        (small_node, large_node) if small_is_left else (large_node, small_node)
+    )
+    join = IRNode(
+        op=OP_GROUP_BY_JOIN,
+        children=children,
+        sig=_gbj_sig(match) + (
+            ("strategy", strategy),
+            ("reduce_partitions", reduce_partitions),
+        ),
+        attrs={"strategy": strategy, "monoid": match.mon.name},
+        label="broadcast",
+    )
+    root = IRNode(
+        op=OP_ASSEMBLE,
+        children=(join,),
+        sig=assemble_sig(setup, builder, args),
+    )
+    root.attrs.update(
         rule=RULE_GROUP_BY_JOIN,
+        builder=builder,
+        strategy=strategy,
+        reusable=True,
         description=(
             f"group-by-join (broadcast): small {side} side broadcast to "
             "every task; partial tiles merged with reduceByKey"
         ),
-        thunk=build,
         pseudocode=(
             "small = sc.broadcast(S.tiles.collect().groupBy(join coord))\n"
             "Tiled(n, m, L.tiles.flatMap { t => small(k(t)).map(s => (key, contract(s, t))) }\n"
             "            .reduceByKey(⊗′))"
         ),
-        details={"broadcast_side": side, "monoid": mon.name},
+        details={"broadcast_side": side, "monoid": match.mon.name},
+        payload=dict(
+            setup=setup, match=match, builder=builder, args=args,
+            side=side, reduce_partitions=reduce_partitions,
+        ),
     )
+    return root
 
 
 # ----------------------------------------------------------------------
@@ -502,8 +480,10 @@ def reconsider_join_strategy(
             ),
         },
     ))
-    replacement = build_broadcast_plan(
+    from .lower import build_broadcast_thunk
+
+    replacement = build_broadcast_thunk(
         setup, match, builder, args, side,
         reduce_partitions=estimate.reduce_partitions,
     )
-    return replacement.thunk, new_strategy
+    return replacement, new_strategy

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Any, Callable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from .cost import CostEstimate
+    from .ir import IRNode, PassTraceEntry
 
 #: Rule identifiers, named after the paper's sections.
 RULE_LOCAL = "local"                       # Sections 2-3, interpreter
@@ -43,6 +44,16 @@ class Plan:
     #: coalescing, skew splits) that fired while this plan ran; populated
     #: at execute time when the engine's adaptive layer is enabled.
     adaptive_decisions: list = field(default_factory=list)
+    #: Pass-pipeline trace: one before/after entry per named pass.
+    trace: list["PassTraceEntry"] = field(default_factory=list)
+    #: The logical operator DAG the normalize bridge derived.
+    logical: Optional["IRNode"] = None
+    #: The physical operator DAG this plan was lowered from.
+    physical: Optional["IRNode"] = None
+    #: Identity fingerprint of the physical DAG + planner options, set
+    #: only for plans eligible for common-subplan reuse; ``None`` keeps
+    #: the plan out of any fingerprint-keyed cache.
+    fingerprint: Optional[str] = None
 
     def execute(self) -> Any:
         """Run the plan and return the built storage/value."""
@@ -68,7 +79,57 @@ class Plan:
             for est in ordered:
                 marker = "*" if est.strategy == chosen else " "
                 lines.append(f"  {marker} {est.summary()}")
+        if self.trace:
+            lines.append("passes:")
+            for entry in self.trace:
+                lines.append(f"  - {entry.summary()}")
         if self.pseudocode:
             lines.append("generated program:")
             lines.extend("  " + line for line in self.pseudocode.splitlines())
         return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe export: operators, strategy, costs, pass trace."""
+        from .ir import _json_safe
+
+        out: dict[str, Any] = {
+            "rule": self.rule,
+            "description": self.description,
+            "details": {k: _json_safe(v) for k, v in sorted(self.details.items())},
+        }
+        chosen = self.estimate.strategy if self.estimate else None
+        if chosen is None:
+            chosen = self.details.get("strategy")
+        if chosen is not None:
+            out["strategy"] = chosen
+        if self.candidates:
+            ordered = sorted(
+                self.candidates.values(),
+                key=lambda est: (est.strategy != chosen, est.total_seconds),
+            )
+            out["candidates"] = [
+                {
+                    "strategy": est.strategy,
+                    "chosen": est.strategy == chosen,
+                    "shuffle_bytes": est.shuffle_bytes,
+                    "broadcast_bytes": est.broadcast_bytes,
+                    "tasks": est.tasks,
+                    "total_seconds": est.total_seconds,
+                }
+                for est in ordered
+            ]
+        if self.trace:
+            out["passes"] = [entry.to_dict() for entry in self.trace]
+        if self.logical is not None:
+            out["logical"] = self.logical.to_dict()
+        if self.physical is not None:
+            out["physical"] = self.physical.to_dict()
+        if self.fingerprint is not None:
+            out["fingerprint"] = self.fingerprint
+        if self.pseudocode:
+            out["pseudocode"] = self.pseudocode
+        if self.adaptive_decisions:
+            out["adaptive_decisions"] = [
+                decision.summary() for decision in self.adaptive_decisions
+            ]
+        return out

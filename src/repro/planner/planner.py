@@ -1,4 +1,4 @@
-"""Planner dispatch: choose a translation rule for a query.
+"""Planner driver: run the pass pipeline, then lower to an RDD program.
 
 Order of preference for a tiled-builder comprehension over tiled inputs
 (mirroring the paper's Section 5):
@@ -11,6 +11,12 @@ Order of preference for a tiled-builder comprehension over tiled inputs
 4. tiled shuffle (5.2) — no group-by, computed output indices;
 5. coordinate (Section 4, Rules 13/14) — the element-level fallback;
 6. local — the reference interpreter (always correct).
+
+The mechanics live elsewhere: :mod:`repro.planner.passes` runs the
+named pass pipeline over the two-level IR (:mod:`repro.planner.ir`),
+and :mod:`repro.planner.lower` turns the physical DAG into the
+executable :class:`~repro.planner.plan.Plan`.  ``plan_query`` is just
+the composition, so the finished plan carries the full pass trace.
 
 ``PlannerOptions`` exposes overrides for the ablations:
 ``group_by_join=False`` reproduces the paper's "SAC" (join + group-by)
@@ -25,31 +31,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from ..comprehension.ast import (
-    BuilderApp, Comprehension, Expr, Generator, Reduce, Var,
-)
-from ..comprehension.errors import SacPlanError
-from ..comprehension.interpreter import Interpreter
-from ..comprehension.monoids import monoid
-from ..engine import EngineContext, RDD
+from ..comprehension.ast import Expr
+from ..engine import EngineContext
 from ..storage.registry import BuildContext
-from ..storage.sparse_tiled import SparseTiledMatrix
-from ..storage.tiled import TiledMatrix, TiledVector
-from .analysis import analyze
-from .cost import (
-    STRATEGY_BROADCAST_LEFT, STRATEGY_BROADCAST_RIGHT, STRATEGY_REPLICATE,
-    STRATEGY_TILED_REDUCE, CostEstimate, CostModel, choose_strategy,
-)
-from .groupby_join import (
-    GbjMatch, build_broadcast_plan, build_replicate_plan, match_group_by_join,
-    reconsider_join_strategy,
-)
-from .plan import Plan, RULE_LOCAL
-from .rdd_rules import plan_coordinate
-from .tiling import (
-    plan_preserve, plan_shuffle, plan_tiled_reduce, resolve_tiled,
-    sparse_gens_sound,
-)
+from .lower import lower
+from .passes import PassManager, PlanState, cse_enabled, default_passes
+from .plan import Plan
 
 
 @dataclass
@@ -68,15 +55,31 @@ class PlannerOptions:
     skinny factors (e.g. the factorization's rank-k matrices).  It is a
     hard override; ``0`` forbids broadcasting even in cost-based mode,
     and ``None`` (default) leaves the choice to the cost model.
+
+    ``cse``: common-subplan elimination.  ``None`` (default) defers to
+    the ``REPRO_CSE`` environment variable (off unless set); ``True`` /
+    ``False`` pin it.  When on, identity-equal subplans are merged, the
+    plan gets a reuse fingerprint the session cache can key on, and the
+    plan's shuffle outputs are marked for
+    :class:`~repro.engine.block_manager.BlockManager` reuse.
     """
 
     group_by_join: Optional[bool] = None
     force_coordinate: bool = False
     allow_tiled: bool = True
     broadcast_threshold: Optional[int] = None
+    cse: Optional[bool] = None
 
-
-_DISTRIBUTED_BUILDERS = {"tiled", "tiled_vector", "rdd"}
+    def cache_signature(self) -> tuple:
+        """Hashable identity for plan caching (every field that can
+        change which plan comes out must appear here)."""
+        return (
+            self.group_by_join,
+            self.force_coordinate,
+            self.allow_tiled,
+            self.broadcast_threshold,
+            cse_enabled(self),
+        )
 
 
 def plan_query(
@@ -88,362 +91,12 @@ def plan_query(
 ) -> Plan:
     """Produce an executable plan for a desugared, normalized query."""
     options = options or PlannerOptions()
-
-    if isinstance(expr, BuilderApp) and isinstance(expr.source, Comprehension):
-        return _plan_builder_comp(expr, env, engine, build_context, options)
-
-    if isinstance(expr, Reduce) and isinstance(expr.expr, Comprehension):
-        inner = expr.expr
-        if engine is not None and _is_distributed(inner, env):
-            plan = _plan_comp(inner, env, engine, build_context, options, None, ())
-            if plan is not None:
-                mon = monoid(expr.monoid) if expr.monoid != "count" else None
-                inner_thunk = plan.thunk
-
-                def reduce_thunk():
-                    rdd = inner_thunk()
-                    assert isinstance(rdd, RDD)
-                    if expr.monoid == "count":
-                        return rdd.count()
-                    return rdd.aggregate(mon.zero, mon.combine, mon.combine)
-
-                return Plan(
-                    rule=plan.rule,
-                    description=f"{plan.description}; then total {expr.monoid}/ reduction",
-                    thunk=reduce_thunk,
-                    pseudocode=plan.pseudocode,
-                    details=plan.details,
-                    estimate=plan.estimate,
-                    candidates=plan.candidates,
-                )
-        return _local_plan(expr, env, build_context)
-
-    if isinstance(expr, Comprehension):
-        if engine is not None and _is_distributed(expr, env):
-            plan = _plan_comp(expr, env, engine, build_context, options, None, ())
-            if plan is not None:
-                inner_thunk = plan.thunk
-                return Plan(
-                    rule=plan.rule,
-                    description=plan.description + "; collected to a list",
-                    thunk=lambda: inner_thunk().collect(),
-                    pseudocode=plan.pseudocode,
-                    details=plan.details,
-                    estimate=plan.estimate,
-                    candidates=plan.candidates,
-                )
-        return _local_plan(expr, env, build_context)
-
-    return _local_plan(expr, env, build_context)
-
-
-# ----------------------------------------------------------------------
-
-
-def _plan_builder_comp(
-    expr: BuilderApp,
-    env: dict[str, Any],
-    engine: Optional[EngineContext],
-    build_context: BuildContext,
-    options: PlannerOptions,
-) -> Plan:
-    comp = expr.source
-    assert isinstance(comp, Comprehension)
-    distributed = expr.name in _DISTRIBUTED_BUILDERS or _is_distributed(comp, env)
-    if engine is None or not distributed:
-        return _local_plan(expr, env, build_context)
-    args = tuple(
-        Interpreter(env, build_context=build_context).evaluate(a) for a in expr.args
+    state = PlanState(
+        expr=expr,
+        env=env,
+        engine=engine,
+        build_context=build_context,
+        options=options,
     )
-    plan = _plan_comp(comp, env, engine, build_context, options, expr.name, args)
-    if plan is not None:
-        return plan
-    return _local_plan(expr, env, build_context)
-
-
-#: Attribute memoizing ``analyze`` on the (immutable) normalized node,
-#: so a plan-cache hit re-plans without re-deriving the analysis.
-_ANALYSIS_MEMO = "_sac_analysis_memo"
-
-
-def _analyze_cached(comp: Comprehension):
-    """``analyze(comp)`` memoized on the AST node itself.
-
-    Nodes are frozen dataclasses and rewrites build new trees, so the
-    analysis of one node never goes stale; negative results (plan
-    errors) are memoized too.  Concurrent compiles may race to compute
-    the same value — the write is idempotent, so last-wins is fine.
-    """
-    memo = getattr(comp, _ANALYSIS_MEMO, None)
-    if memo is None:
-        try:
-            memo = analyze(comp)
-        except SacPlanError as exc:
-            memo = exc
-        object.__setattr__(comp, _ANALYSIS_MEMO, memo)
-    return None if isinstance(memo, SacPlanError) else memo
-
-
-def _plan_comp(
-    comp: Comprehension,
-    env: dict[str, Any],
-    engine: EngineContext,
-    build_context: BuildContext,
-    options: PlannerOptions,
-    builder: Optional[str],
-    args: tuple,
-) -> Optional[Plan]:
-    info = _analyze_cached(comp)
-    if info is None:
-        return None
-
-    if not options.force_coordinate and options.allow_tiled and builder in (
-        "tiled",
-        "tiled_vector",
-    ):
-        const_env = {
-            name: value
-            for name, value in env.items()
-            if isinstance(value, (int, float, bool))
-        }
-        setup = resolve_tiled(info, env, const_env)
-        if setup is not None:
-            # The setup carries a guard-pruned copy of the analysis; use
-            # it for the fallback too (the shared memoized CompInfo must
-            # stay pristine for other storages' compiles).
-            info = setup.info
-        if setup is not None and not sparse_gens_sound(setup):
-            setup = None  # sparse semantics need the coordinate path
-        if setup is not None:
-            if info.group_key_vars is not None:
-                plan = _plan_group_by(setup, engine, options, builder, args)
-                if plan is not None:
-                    return _record_estimate(plan, engine)
-            else:
-                plan = plan_preserve(setup, builder, args)
-                if plan is not None:
-                    return plan
-                plan = plan_shuffle(setup, builder, args)
-                if plan is not None:
-                    return plan
-
-    return plan_coordinate(info, env, engine, builder, args, build_context)
-
-
-def _plan_group_by(
-    setup,
-    engine: EngineContext,
-    options: PlannerOptions,
-    builder: str,
-    args: tuple,
-) -> Optional[Plan]:
-    """Cost-based selection among the group-by strategies.
-
-    When the group-by-join pattern matches, every candidate (SUMMA
-    replication, broadcasting either side, the 5.3 join+group-by) is
-    costed against the engine's cluster spec and the cheapest one is
-    built — unless an explicit override (``group_by_join``,
-    ``broadcast_threshold``) forces a strategy.  The estimates are
-    attached to the plan for ``explain`` and the estimated-vs-actual
-    shuffle counters.
-    """
-    match = match_group_by_join(setup)
-    candidates: dict[str, CostEstimate] = {}
-    # Cost-chosen = no explicit override pinned the strategy; only then
-    # may the adaptive layer second-guess the choice at execute time.
-    cost_chosen = (
-        options.group_by_join is None and options.broadcast_threshold is None
-    )
-    if match is not None:
-        model = CostModel(
-            engine.cluster, engine.default_parallelism,
-            measured=_adaptive_measurements(engine),
-        )
-        candidates = model.candidates(setup, match)
-        strategy = _choose_gbj_strategy(options, match, candidates)
-        plan: Optional[Plan] = None
-        if strategy == STRATEGY_REPLICATE:
-            plan = build_replicate_plan(setup, match, builder, args)
-        elif strategy in (STRATEGY_BROADCAST_LEFT, STRATEGY_BROADCAST_RIGHT):
-            side = "left" if strategy == STRATEGY_BROADCAST_LEFT else "right"
-            plan = build_broadcast_plan(
-                setup, match, builder, args, side,
-                reduce_partitions=candidates[strategy].reduce_partitions,
-            )
-        if plan is not None:
-            _attach_estimates(plan, strategy, candidates)
-            if cost_chosen and strategy == STRATEGY_REPLICATE:
-                _install_adaptive_reconsideration(
-                    plan, setup, match, candidates, strategy,
-                    engine, builder, args,
-                )
-            return plan
-
-    plan = plan_tiled_reduce(setup, builder, args)
-    if plan is None and match is not None and options.group_by_join is not False:
-        # The 5.3 rule has preconditions (e.g. on the head key) the
-        # group-by-join does not; fall back to the always-buildable
-        # SUMMA plan rather than dropping to the coordinate path.
-        plan = build_replicate_plan(setup, match, builder, args)
-        return _attach_estimates(plan, STRATEGY_REPLICATE, candidates)
-    if plan is not None and candidates:
-        _attach_estimates(plan, STRATEGY_TILED_REDUCE, candidates)
-        if match is not None and cost_chosen:
-            _install_adaptive_reconsideration(
-                plan, setup, match, candidates, STRATEGY_TILED_REDUCE,
-                engine, builder, args,
-            )
-    return plan
-
-
-def _choose_gbj_strategy(
-    options: PlannerOptions,
-    match,
-    candidates: dict[str, CostEstimate],
-) -> str:
-    """Apply the option overrides, else ask the cost model."""
-    if options.group_by_join is False:
-        return STRATEGY_TILED_REDUCE
-    threshold = options.broadcast_threshold
-    if threshold is not None and threshold > 0:
-        # Legacy gating override: broadcast whichever side fits under the
-        # threshold (right side preferred, matching the original
-        # implementation), SUMMA replication otherwise.
-        if match.tile_count("right") <= threshold:
-            return STRATEGY_BROADCAST_RIGHT
-        if match.tile_count("left") <= threshold:
-            return STRATEGY_BROADCAST_LEFT
-        return STRATEGY_REPLICATE
-    if options.group_by_join is True:
-        return STRATEGY_REPLICATE
-    allowed = [
-        STRATEGY_REPLICATE,
-        STRATEGY_BROADCAST_LEFT,
-        STRATEGY_BROADCAST_RIGHT,
-        STRATEGY_TILED_REDUCE,
-    ]
-    if threshold == 0:
-        allowed = [STRATEGY_REPLICATE, STRATEGY_TILED_REDUCE]
-    return choose_strategy(candidates, allowed)
-
-
-def _attach_estimates(
-    plan: Plan, strategy: str, candidates: dict[str, CostEstimate]
-) -> Plan:
-    plan.candidates = candidates
-    plan.estimate = candidates.get(strategy)
-    plan.details["strategy"] = strategy
-    if plan.estimate is not None:
-        plan.details["priced_densities"] = plan.estimate.densities
-    return plan
-
-
-def _adaptive_measurements(engine: EngineContext) -> Optional[dict]:
-    """Measured input sizes for the compile-time cost model, when the
-    adaptive layer is on and has recorded any — so a query compiled
-    *after* an adaptive correction prices with the measured facts and
-    picks the cheap plan up front instead of re-correcting at runtime."""
-    manager = getattr(engine, "adaptive", None)
-    if manager is not None and manager.enabled and manager.measured_sizes:
-        return manager.measured_sizes
-    return None
-
-
-def _install_adaptive_reconsideration(
-    plan: Plan,
-    setup,
-    match,
-    candidates: dict[str, CostEstimate],
-    strategy: str,
-    engine: EngineContext,
-    builder: str,
-    args: tuple,
-) -> Plan:
-    """Wrap the plan's thunk with the stage-boundary re-optimization.
-
-    At execute time — when upstream stages have materialized and real
-    sizes exist — the join strategy is reconsidered from measurements
-    (:func:`~repro.planner.groupby_join.reconsider_join_strategy`) and
-    a broadcast downgrade replaces the planned program if it fires.
-    Every adaptive decision recorded while the plan runs (downgrades,
-    but also the engine's skew splits and partition coalescing) is
-    sliced onto ``plan.adaptive_decisions`` for ``explain()``.
-    """
-    manager = getattr(engine, "adaptive", None)
-    if manager is None or not manager.enabled:
-        return plan
-    inner = plan.thunk
-
-    def thunk():
-        start = len(manager.decisions)
-        replacement = reconsider_join_strategy(
-            engine, setup, match, candidates, strategy, builder, args
-        )
-        if replacement is not None:
-            new_thunk, new_strategy = replacement
-            plan.details["adaptive_strategy"] = new_strategy
-            result = new_thunk()
-        else:
-            result = inner()
-        plan.adaptive_decisions = list(manager.decisions[start:])
-        return result
-
-    plan.thunk = thunk
-    return plan
-
-
-def _record_estimate(plan: Plan, engine: EngineContext) -> Plan:
-    """Record the chosen estimate when the plan actually executes."""
-    if plan.estimate is None:
-        return plan
-    inner = plan.thunk
-    estimated = plan.estimate.shuffle_bytes
-
-    def thunk():
-        engine.metrics.record_estimated_shuffle(estimated)
-        return inner()
-
-    plan.thunk = thunk
-    return plan
-
-
-def _local_plan(
-    expr: Expr, env: dict[str, Any], build_context: BuildContext
-) -> Plan:
-    from .local_codegen import CodegenUnsupported, compile_local
-    from .plan import RULE_LOCAL_CODEGEN
-
-    try:
-        source, thunk = compile_local(expr, env, build_context)
-    except CodegenUnsupported as reason:
-        interpreter = Interpreter(env, build_context=build_context)
-        return Plan(
-            rule=RULE_LOCAL,
-            description="reference in-memory evaluation (Sections 2-3)",
-            thunk=lambda: interpreter.evaluate(expr),
-            details={"codegen_fallback": str(reason)},
-        )
-    return Plan(
-        rule=RULE_LOCAL_CODEGEN,
-        description=(
-            "generated imperative loop code (Sections 2-3): sparsifiers "
-            "inlined as index loops, builders as array writes"
-        ),
-        thunk=thunk,
-        pseudocode=source,
-    )
-
-
-def _is_distributed(comp: Comprehension, env: dict[str, Any]) -> bool:
-    """Does any generator traverse a distributed storage?"""
-    for qual in comp.qualifiers:
-        if isinstance(qual, Generator) and isinstance(qual.source, Var):
-            value = env.get(qual.source.name)
-            if isinstance(
-                value, (TiledMatrix, TiledVector, SparseTiledMatrix, RDD)
-            ):
-                return True
-        if isinstance(qual, Generator) and isinstance(qual.source, Comprehension):
-            if _is_distributed(qual.source, env):
-                return True
-    return False
+    PassManager(default_passes()).run(state)
+    return lower(state)

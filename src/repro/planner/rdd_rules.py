@@ -17,35 +17,41 @@ Records flow through the engine as plain ``dict`` environments; all
 expression evaluation reuses the reference interpreter's semantics, so
 this path is correct by construction for anything the interpreter
 accepts.
+
+The rule here only *recognizes* and emits a ``Coordinate`` IR node; the
+element-level runtime (joins, group-by, assembly) lives in
+:mod:`repro.planner.lower`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Optional
 
 import numpy as np
 
-from ..comprehension.ast import Expr, Var, to_source
-from ..comprehension.errors import SacPlanError
-from ..comprehension.interpreter import Interpreter
-from ..comprehension.monoids import monoid
+from ..comprehension.ast import Var, to_source
 from ..engine import EngineContext, RDD
 from ..storage import CooMatrix, CooVector, CsrMatrix, DenseMatrix, DenseVector
 from ..storage.registry import REGISTRY, BuildContext
 from ..storage.tiled import TiledMatrix, TiledVector
 from .analysis import CompInfo, GenInfo
-from .plan import Plan, RULE_COORDINATE
+from .ir import IRNode, OP_COORDINATE, scan_storage_node
+from .plan import RULE_COORDINATE
+
+#: Environment values whose repr is cheap and semantically meaningful;
+#: everything else is tracked by object identity only.
+_SCALAR_TYPES = (bool, int, float, str)
 
 
-def plan_coordinate(
+def emit_coordinate(
     info: CompInfo,
     env: dict[str, Any],
     engine: EngineContext,
     builder: Optional[str],
     args: tuple,
     build_context: BuildContext,
-) -> Optional[Plan]:
-    """Translate to element-level RDD operations (Rules 13/14)."""
+) -> Optional[IRNode]:
+    """Recognize element-level RDD translation (Rules 13/14); emit IR."""
     if info.post_group_quals:
         return None
     if info.ranges:
@@ -57,42 +63,56 @@ def plan_coordinate(
             return None
         sources.append(rdd)
 
-    evaluator = Interpreter(env, build_context=build_context)
-
-    def expr_fn(expr: Expr) -> Callable[[dict], Any]:
-        return lambda record: evaluator.evaluate(expr, extra_env=record)
-
-    steps: list[str] = []
-
-    def build() -> Any:
-        rdd = _join_generators(info, sources, expr_fn, steps)
-        for guard in info.residual_guards:
-            fn = expr_fn(guard)
-            rdd = rdd.filter(fn)
-            steps.append(f".filter({to_source(guard)})")
-        if info.group_key_vars is not None:
-            rdd = _apply_group_by(info, rdd, expr_fn, steps)
-        else:
-            key_fn = expr_fn(info.head_key) if info.head_key is not None else None
-            value_fn = expr_fn(info.head_value)
-            if key_fn is None:
-                rdd = rdd.map(value_fn)
-                steps.append(".map(head)")
-            else:
-                rdd = rdd.map(lambda record: (key_fn(record), value_fn(record)))
-                steps.append(f".map(record => ({to_source(info.head_key)}, value))")
-        return _finish(rdd, engine, builder, args, build_context)
-
-    return Plan(
+    scans = tuple(
+        scan_storage_node(
+            gen.source.name if isinstance(gen.source, Var) else f"gen{idx}",
+            env.get(gen.source.name) if isinstance(gen.source, Var) else None,
+        )
+        for idx, gen in enumerate(info.generators)
+    )
+    # The interpreter evaluates guard/head expressions against the whole
+    # environment, not just the generators — e.g. ``N2[i, j]`` indexes a
+    # bystander binding.  Scalars go into the signature; every other
+    # binding's identity gates fingerprint equality (and hence reuse).
+    scalars = tuple(
+        sorted(
+            (name, repr(value))
+            for name, value in env.items()
+            if isinstance(value, _SCALAR_TYPES)
+        )
+    )
+    identity = tuple(
+        (name, id(value))
+        for name, value in sorted(env.items())
+        if not isinstance(value, _SCALAR_TYPES)
+    )
+    root = IRNode(
+        op=OP_COORDINATE,
+        children=scans,
+        sig=(
+            ("comp", to_source(info.comp)),
+            ("builder", builder, tuple(repr(a) for a in args)),
+            ("tile_size", build_context.tile_size),
+            ("scalars", scalars),
+        ),
+        identity=identity,
+    )
+    root.attrs.update(
         rule=RULE_COORDINATE,
+        builder=builder,
+        reusable=True,
         description=(
             "element-level translation: coordinate pairs joined with RDD "
             "joins (Rule 14), aggregated with reduceByKey (Rule 13)"
         ),
-        thunk=build,
-        pseudocode="\n".join(["<elements>"] + steps) if steps else "",
+        pseudocode="",
         details={"generators": len(info.generators)},
+        payload=dict(
+            info=info, env=env, engine=engine, builder=builder, args=args,
+            build_context=build_context, sources=sources,
+        ),
     )
+    return root
 
 
 # ----------------------------------------------------------------------
@@ -146,251 +166,3 @@ def _element_rdd(
     if isinstance(value, list):
         return engine.parallelize(value)
     return None
-
-
-# ----------------------------------------------------------------------
-# Joins (Rule 14)
-# ----------------------------------------------------------------------
-
-
-def _join_generators(
-    info: CompInfo,
-    sources: list[RDD],
-    expr_fn: Callable[[Expr], Callable[[dict], Any]],
-    steps: list[str],
-) -> RDD:
-    """Fold generators into one RDD of record dicts, joining when possible."""
-    patterns = [
-        _record_binder(gen) for gen in info.generators
-    ]
-    joined_rdd = sources[0].map(patterns[0])
-    joined_set = {0}
-    steps.append(f"{_gen_name(info, 0)}.map(bind)")
-    remaining = list(range(1, len(info.generators)))
-    pending_joins = list(info.joins)
-
-    while remaining:
-        progress = False
-        for gen_idx in list(remaining):
-            conds = [
-                j
-                for j in pending_joins
-                if {j.left_gen, j.right_gen} <= joined_set | {gen_idx}
-                and gen_idx in (j.left_gen, j.right_gen)
-            ]
-            if not conds:
-                continue
-            left_keys = []
-            right_keys = []
-            for cond in conds:
-                if cond.left_gen == gen_idx:
-                    right_keys.append(cond.left)
-                    left_keys.append(cond.right)
-                else:
-                    right_keys.append(cond.right)
-                    left_keys.append(cond.left)
-            left_fns = [expr_fn(e) for e in left_keys]
-            right_fns = [expr_fn(e) for e in right_keys]
-            bind = patterns[gen_idx]
-            left = joined_rdd.map(
-                lambda rec, fns=tuple(left_fns): (tuple(f(rec) for f in fns), rec)
-            )
-            right = sources[gen_idx].map(bind).map(
-                lambda rec, fns=tuple(right_fns): (tuple(f(rec) for f in fns), rec)
-            )
-            joined_rdd = left.join(right).map(
-                lambda kv: {**kv[1][0], **kv[1][1]}
-            )
-            steps.append(
-                f".join({_gen_name(info, gen_idx)} on "
-                f"{[to_source(e) for e in left_keys]})"
-            )
-            joined_set.add(gen_idx)
-            remaining.remove(gen_idx)
-            for cond in conds:
-                pending_joins.remove(cond)
-            progress = True
-        if not progress:
-            # No join condition available: cartesian product.
-            gen_idx = remaining.pop(0)
-            bind = patterns[gen_idx]
-            joined_rdd = joined_rdd.cartesian(sources[gen_idx].map(bind)).map(
-                lambda pair: {**pair[0], **pair[1]}
-            )
-            steps.append(f".cartesian({_gen_name(info, gen_idx)})")
-            joined_set.add(gen_idx)
-    return joined_rdd
-
-
-def _record_binder(gen: GenInfo) -> Callable[[tuple], dict]:
-    index_vars = list(gen.index_vars)
-    value_var = gen.value_var
-
-    def bind(pair: tuple) -> dict:
-        key, value = pair
-        record: dict[str, Any] = {}
-        if len(index_vars) == 1:
-            record[index_vars[0]] = key
-        else:
-            flat = _flatten_key(key)
-            for name, part in zip(index_vars, flat):
-                record[name] = part
-        if value_var is not None:
-            record[value_var] = value
-        return record
-
-    return bind
-
-
-def _flatten_key(key: Any) -> list:
-    if isinstance(key, tuple):
-        out: list = []
-        for part in key:
-            out.extend(_flatten_key(part))
-        return out
-    return [key]
-
-
-def _gen_name(info: CompInfo, index: int) -> str:
-    source = info.generators[index].source
-    return source.name if isinstance(source, Var) else f"gen{index}"
-
-
-# ----------------------------------------------------------------------
-# Group-by (Rule 13)
-# ----------------------------------------------------------------------
-
-
-def _apply_group_by(
-    info: CompInfo,
-    rdd: RDD,
-    expr_fn: Callable[[Expr], Callable[[dict], Any]],
-    steps: list[str],
-) -> RDD:
-    if not info.slots:
-        raise SacPlanError(
-            "a distributed group-by needs aggregations over the lifted "
-            "variables; collect-the-group queries run on the interpreter"
-        )
-    key_fns = [expr_fn(e) for e in (info.group_key_exprs or [])]
-    slot_fns = [expr_fn(slot.expr) for slot in info.slots]
-    monoids = [monoid(slot.monoid) for slot in info.slots]
-    single_key = len(key_fns) == 1
-
-    def to_pair(record: dict) -> tuple:
-        key = key_fns[0](record) if single_key else tuple(f(record) for f in key_fns)
-        return key, tuple(f(record) for f in slot_fns)
-
-    def combine(left: tuple, right: tuple) -> tuple:
-        return tuple(m.combine(a, b) for m, a, b in zip(monoids, left, right))
-
-    reduced = rdd.map(to_pair).reduce_by_key(combine)
-    steps.append(
-        ".map(record => (key, (g1..gm))).reduceByKey(⊗)"
-    )
-
-    residual = info.residual_value
-    slot_vars = [slot.slot_var for slot in info.slots]
-    if len(slot_vars) == 1 and residual == Var(slot_vars[0]):
-        result = reduced.map_values(lambda aggs: aggs[0])
-    else:
-        finish = expr_fn(residual)
-        key_vars = info.group_key_vars or []
-
-        def apply_residual(kv):
-            key, aggs = kv
-            record = dict(zip(slot_vars, aggs))
-            parts = key if isinstance(key, tuple) else (key,)
-            record.update(zip(key_vars, parts))
-            return key, finish(record)
-
-        result = reduced.map(apply_residual)
-        steps.append(".mapValues(f)")
-    return result
-
-
-# ----------------------------------------------------------------------
-# Result assembly
-# ----------------------------------------------------------------------
-
-
-def _finish(
-    rdd: RDD,
-    engine: EngineContext,
-    builder: Optional[str],
-    args: tuple,
-    build_context: BuildContext,
-) -> Any:
-    """Down-coerce the element RDD through the requested builder."""
-    if builder is None or builder == "rdd":
-        return rdd
-    if builder == "tiled":
-        return _assemble_tiled_matrix(rdd, engine, int(args[0]), int(args[1]), build_context)
-    if builder == "tiled_vector":
-        return _assemble_tiled_vector(rdd, engine, int(args[0]), build_context)
-    # Local builders: collect the elements to the driver and build there.
-    return REGISTRY.build(builder, args, rdd.collect(), build_context)
-
-
-def _assemble_tiled_matrix(
-    rdd: RDD, engine: EngineContext, rows: int, cols: int, ctx: BuildContext
-) -> TiledMatrix:
-    """The paper's distributed ``tiled`` builder: group elements by tile.
-
-    Uses ``combineByKey`` so elements accumulate into dense tile buffers
-    map-side instead of shuffling a list per tile (groupByKey).
-    """
-    n = ctx.tile_size
-    helper = TiledMatrix(rows, cols, n, engine.empty_rdd())
-
-    def create(entry):
-        coord, offset_value = entry
-        tile = np.zeros(helper.tile_shape(*coord))
-        tile[offset_value[0]] = offset_value[1]
-        return tile
-
-    def merge_value(tile, entry):
-        _coord, offset_value = entry
-        tile[offset_value[0]] = offset_value[1]
-        return tile
-
-    def merge_tiles(a, b):
-        return np.where(b != 0, b, a)
-
-    keyed = rdd.filter(
-        lambda kv: 0 <= kv[0][0] < rows and 0 <= kv[0][1] < cols
-    ).map(
-        lambda kv: (
-            (kv[0][0] // n, kv[0][1] // n),
-            ((kv[0][0] // n, kv[0][1] // n), ((kv[0][0] % n, kv[0][1] % n), kv[1])),
-        )
-    )
-    tiles = keyed.combine_by_key(create, merge_value, merge_tiles)
-    return TiledMatrix(rows, cols, n, tiles)
-
-
-def _assemble_tiled_vector(
-    rdd: RDD, engine: EngineContext, length: int, ctx: BuildContext
-) -> TiledVector:
-    n = ctx.tile_size
-    helper = TiledVector(length, n, engine.empty_rdd())
-
-    def create(entry):
-        block_index, offset_value = entry
-        block = np.zeros(helper.block_length(block_index))
-        block[offset_value[0]] = offset_value[1]
-        return block
-
-    def merge_value(block, entry):
-        _index, offset_value = entry
-        block[offset_value[0]] = offset_value[1]
-        return block
-
-    def merge_blocks(a, b):
-        return np.where(b != 0, b, a)
-
-    keyed = rdd.filter(lambda kv: 0 <= kv[0] < length).map(
-        lambda kv: (kv[0] // n, (kv[0] // n, (kv[0] % n, kv[1])))
-    )
-    blocks = keyed.combine_by_key(create, merge_value, merge_blocks)
-    return TiledVector(length, n, blocks)

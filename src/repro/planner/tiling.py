@@ -2,21 +2,21 @@
 
 Three translations, in decreasing order of preference:
 
-* :func:`plan_preserve` — **queries that preserve tiling** (5.1, Eq. 17):
+* :func:`emit_preserve` — **queries that preserve tiling** (5.1, Eq. 17):
   the output tile coordinate is a permutation/projection of the input
   tile coordinates, so tiles are joined directly and each output tile is
   computed from the matching input tiles with no shuffle beyond the join.
   Covers element-wise operations, transpose, diagonal extraction and
   broadcasts.
 
-* :func:`plan_shuffle` — **queries that do not preserve tiling** (5.2,
+* :func:`emit_shuffle` — **queries that do not preserve tiling** (5.2,
   Eq. 19): output indices are arbitrary (vectorizable) functions of the
   input indices.  Every tile is replicated to the set ``I_f(K)`` of
   output tiles it can contribute to, tiles are grouped per destination
   with ``groupByKey``, and each destination tile is assembled by a
   masked scatter.  Covers rotations, shifts and slicing.
 
-* :func:`plan_tiled_reduce` — **group-by queries** (5.3): generators are
+* :func:`emit_tiled_reduce` — **group-by queries** (5.3): generators are
   joined tile-wise on the index equalities, each joined tile tuple
   produces a *partial* output tile (a contraction), and partial tiles
   are merged with ``reduceByKey(⊗′)`` — the monoid applied to tiles
@@ -27,11 +27,16 @@ All three share the same vocabulary: index variables are grouped into
 *classes* (union-find over equality guards); a class corresponds to one
 logical array dimension, one tile-coordinate component, and one axis of
 the NumPy arrays inside tiles.
+
+Since the plan-IR refactor these rules *emit IR nodes*
+(:class:`~repro.planner.ir.IRNode`): each ``emit_*`` function performs
+the rule's eligibility checks and kernel compilation, and packages what
+the (separate, single) lowering site :mod:`repro.planner.lower` needs to
+assemble the RDD program.
 """
 
 from __future__ import annotations
 
-import itertools
 import math
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Optional, Sequence
@@ -46,12 +51,15 @@ from ..storage import stats as density
 from ..storage.stats import DENSE, DensityStats
 from ..storage.tiled import TiledMatrix, TiledVector
 from .analysis import CompInfo, key_components
+from .ir import (
+    IRNode, OP_ASSEMBLE, OP_FILTER, OP_GROUP_BY, OP_MAP_TILES, OP_REPLICATE,
+    OP_TILED_REDUCE, scan_gen_node,
+)
 from .kernels import (
-    KernelUnsupported, combine_tiles, compile_vectorized_cached, contract,
-    gather,
+    KernelUnsupported, compile_vectorized_cached, contract,
 )
 from .plan import (
-    Plan, RULE_PRESERVE_TILING, RULE_TILED_REDUCE, RULE_TILED_SHUFFLE,
+    RULE_PRESERVE_TILING, RULE_TILED_REDUCE, RULE_TILED_SHUFFLE,
 )
 
 
@@ -439,10 +447,29 @@ def _all_vars(setup: TiledSetup) -> set[str]:
 # ----------------------------------------------------------------------
 
 
-def plan_preserve(
+def assemble_sig(setup: TiledSetup, builder: str, args: tuple) -> tuple:
+    """Semantic signature shared by every tiled rule's ``Assemble`` root.
+
+    Captures the builder, its (already evaluated) arguments, the tile
+    size, and the scalar constants the compiled kernels closed over.
+    """
+    return (
+        ("builder", builder, tuple(repr(a) for a in args)),
+        ("tile_size", setup.tile_size),
+        ("consts", tuple(
+            sorted((k, repr(v)) for k, v in setup.const_env.items())
+        )),
+    )
+
+
+def emit_preserve(
     setup: TiledSetup, builder: str, args: tuple
-) -> Optional[Plan]:
-    """Equation (17): join tiles on the output coordinate, compute locally."""
+) -> Optional[IRNode]:
+    """Equation (17): join tiles on the output coordinate, compute locally.
+
+    Checks eligibility and compiles the per-tile kernels; the RDD
+    program (tile join + map) is assembled in :mod:`repro.planner.lower`.
+    """
     info = setup.info
     if info.group_key_vars is not None or info.post_group_quals:
         return None
@@ -463,58 +490,8 @@ def plan_preserve(
     if value_fn is None or masks is None:
         return None
 
-    position = {cls: p for p, cls in enumerate(out_classes)}
-    keyed = [_keyed_by_out_coord(setup, gen, out_classes, position) for gen in setup.gens]
-
-    joined = keyed[0].map_values(lambda tile: (tile,))
-    for other in keyed[1:]:
-        joined = joined.join(other).map_values(lambda pair: pair[0] + (pair[1],))
-
-    gens = setup.gens
-    # Only materialize index grids for variables the kernels actually use.
-    used = free_vars(info.head_value)
-    for guard in info.residual_guards:
-        used |= free_vars(guard)
-    used_index_vars = {
-        var for var, cls in setup.classes.items()
-        if var in used and cls in position
-    }
-    n = setup.tile_size
-    identity = list(range(len(out_classes)))
-    axis_maps = [
-        [position[cls] for cls in gen.axis_classes] for gen in gens
-    ]
-    needs_grids = bool(used_index_vars) or any(
-        axis_map != identity for axis_map in axis_maps
-    )
-
-    def compute(record):
-        coords, tiles = record
-        shape = _tile_shape(setup, out_classes, coords)
-        env: dict[str, Any] = {}
-        grids = np.indices(shape) if needs_grids else None
-        for var in used_index_vars:
-            p = position[setup.classes[var]]
-            env[var] = grids[p] + coords[p] * n
-        for gen, axis_map, tile in zip(gens, axis_maps, tiles):
-            if gen.value_var is not None:
-                if axis_map == identity:
-                    env[gen.value_var] = tile
-                else:
-                    env[gen.value_var] = gather(tile, axis_map, grids)
-        value = np.asarray(value_fn(env), dtype=np.float64)
-        if value.shape != shape:
-            value = np.broadcast_to(value, shape).copy()
-        if masks:
-            keep = np.ones(shape, dtype=bool)
-            for mask_fn in masks:
-                keep &= np.asarray(mask_fn(env), dtype=bool)
-            value = np.where(keep, value, 0.0)
-        return coords, value
-
-    tiles_rdd = joined.map(compute)
     # Element density follows the head value; block density is further
-    # capped by the sparsest generator, because the tile join above is an
+    # capped by the sparsest generator, because the tile join is an
     # inner join — a coordinate with any absent input tile yields no
     # output tile.
     value_stats = _value_stats(setup, info.head_value) or DENSE
@@ -525,47 +502,48 @@ def plan_preserve(
             min(value_stats.block_density, block_cap),
         )
     )
-    pseudocode = _preserve_pseudocode(setup, out_classes)
-    return Plan(
+
+    scans = tuple(scan_gen_node(gen) for gen in setup.gens)
+    inner: tuple[IRNode, ...] = scans
+    if info.residual_guards:
+        inner = (IRNode(
+            op=OP_FILTER,
+            children=scans,
+            sig=(("guards", tuple(to_source(g) for g in info.residual_guards)),),
+            label="residual guards",
+        ),)
+    mapped = IRNode(
+        op=OP_MAP_TILES,
+        children=inner,
+        sig=(
+            ("head", to_source(info.head_value)),
+            ("out", tuple(out_classes)),
+        ),
+        label="per-tile kernel",
+    )
+    root = IRNode(
+        op=OP_ASSEMBLE,
+        children=(mapped,),
+        sig=assemble_sig(setup, builder, args),
+        label=builder,
+    )
+    root.attrs.update(
         rule=RULE_PRESERVE_TILING,
+        builder=builder,
+        reusable=True,
         description=(
             "output tile coordinates are a projection of input tile "
             "coordinates; tiles joined directly (no re-tiling shuffle)"
         ),
-        thunk=lambda: _result_storage(setup, builder, args, tiles_rdd, stats=out_stats),
-        pseudocode=pseudocode,
+        pseudocode=_preserve_pseudocode(setup, out_classes),
         details={"generators": len(setup.gens), "out_dims": len(out_classes)},
+        payload=dict(
+            setup=setup, builder=builder, args=args,
+            out_classes=out_classes, value_fn=value_fn, masks=masks,
+            out_stats=out_stats,
+        ),
     )
-
-
-def _keyed_by_out_coord(
-    setup: TiledSetup,
-    gen: ResolvedGen,
-    out_classes: Sequence[int],
-    position: dict[int, int],
-) -> RDD:
-    """Map a generator's tiles to their (replicated) output coordinates."""
-    missing = [p for p, cls in enumerate(out_classes) if cls not in gen.axis_classes]
-    missing_grids = [range(setup.grid_size(out_classes[p])) for p in missing]
-    n_out = len(out_classes)
-
-    def expand(record):
-        coords, tile = record
-        base: dict[int, int] = {}
-        for axis, cls in enumerate(gen.axis_classes):
-            p = position[cls]
-            if p in base and base[p] != coords[axis]:
-                return  # e.g. off-diagonal tile for an i == j query
-            base[p] = coords[axis]
-        for combo in itertools.product(*missing_grids):
-            key = [0] * n_out
-            for p, value in base.items():
-                key[p] = value
-            for p, value in zip(missing, combo):
-                key[p] = value
-            yield tuple(key), tile
-
-    return gen.tile_records().flat_map(lambda record: list(expand(record)) or [])
+    return root
 
 
 def _preserve_pseudocode(setup: TiledSetup, out_classes: Sequence[int]) -> str:
@@ -582,8 +560,15 @@ def _preserve_pseudocode(setup: TiledSetup, out_classes: Sequence[int]) -> str:
 # ----------------------------------------------------------------------
 
 
-def plan_shuffle(setup: TiledSetup, builder: str, args: tuple) -> Optional[Plan]:
-    """Equation (19): replicate tiles to I_f(K), groupByKey, scatter."""
+def emit_shuffle(
+    setup: TiledSetup, builder: str, args: tuple
+) -> Optional[IRNode]:
+    """Equation (19): replicate tiles to I_f(K), groupByKey, scatter.
+
+    Checks eligibility and compiles the key/value/guard kernels; the
+    replicate → group → assemble RDD program is built in
+    :mod:`repro.planner.lower`.
+    """
     info = setup.info
     if info.group_key_vars is not None or info.post_group_quals:
         return None
@@ -604,92 +589,56 @@ def plan_shuffle(setup: TiledSetup, builder: str, args: tuple) -> Optional[Plan]
     if any(fn is None for fn in key_fns) or value_fn is None or masks is None:
         return None
 
-    n = setup.tile_size
-
-    def tile_env(coords, tile):
-        grids = np.indices(tile.shape)
-        # Bind each index variable to its own axis (by position, not by
-        # class: a residual ``i == j`` unifies the classes but the two
-        # variables still read different axes — the guard masks them).
-        env: dict[str, Any] = {}
-        for axis, var in enumerate(gen.index_vars):
-            env[var] = grids[axis] + coords[axis] * n
-        if gen.value_var is not None:
-            env[gen.value_var] = tile
-        return env
-
-    def keep_mask(env, shape):
-        keep = np.ones(shape, dtype=bool)
-        for mask_fn in masks:
-            keep &= np.asarray(mask_fn(env), dtype=bool)
-        return keep
-
-    def replicate(record):
-        """Compute I_f for one tile: destination coords it contributes to."""
-        coords, tile = record
-        env = tile_env(coords, tile)
-        keys = [np.asarray(fn(env)) for fn in key_fns]
-        keep = keep_mask(env, tile.shape)
-        for dim, key in zip(out_dims, keys):
-            keep &= (key >= 0) & (key < dim)
-        if not keep.any():
-            return []
-        dest = np.stack(
-            [np.broadcast_to(key, tile.shape)[keep] // n for key in keys], axis=-1
-        )
-        unique = {tuple(int(c) for c in row) for row in np.unique(dest, axis=0)}
-        return [(k, (coords, tile)) for k in sorted(unique)]
-
-    replicated = gen.tile_records().flat_map(replicate)
-    grouped = replicated.group_by_key()
-
-    def assemble(record):
-        out_coord, contributions = record
-        shape = tuple(
-            min(n, dim - c * n) for dim, c in zip(out_dims, out_coord)
-        )
-        out = np.zeros(shape)
-        for coords, tile in contributions:
-            env = tile_env(coords, tile)
-            keys = [
-                np.broadcast_to(np.asarray(fn(env)), tile.shape) for fn in key_fns
-            ]
-            keep = keep_mask(env, tile.shape)
-            for dim, key in zip(out_dims, keys):
-                keep &= (key >= 0) & (key < dim)
-            for key, k_block in zip(keys, out_coord):
-                keep &= key // n == k_block
-            if not keep.any():
-                continue
-            value = np.broadcast_to(
-                np.asarray(value_fn(env), dtype=np.float64), tile.shape
-            )
-            locals_ = tuple(
-                (key[keep] - k_block * n) for key, k_block in zip(keys, out_coord)
-            )
-            out[locals_] = value[keep]
-        return out_coord, out
-
-    tiles_rdd = grouped.map(assemble)
     # A shuffle permutes/projects the support; the element density
     # follows the head value exactly, and the block density is carried
     # through as an estimate (index remaps move non-zeros between tiles
     # but rarely change how many tiles are touched).
     out_stats = _drop_if_dense(_value_stats(setup, info.head_value))
-    return Plan(
+
+    scan = scan_gen_node(gen)
+    replicated = IRNode(
+        op=OP_REPLICATE,
+        children=(scan,),
+        sig=(
+            ("key", tuple(to_source(c) for c in components)),
+            ("dims", tuple(out_dims)),
+            ("guards", tuple(to_source(g) for g in info.residual_guards)),
+        ),
+        label="I_f(K)",
+    )
+    grouped = IRNode(
+        op=OP_GROUP_BY,
+        children=(replicated,),
+        sig=(("head", to_source(info.head_value)),),
+        label="destination tiles",
+    )
+    root = IRNode(
+        op=OP_ASSEMBLE,
+        children=(grouped,),
+        sig=assemble_sig(setup, builder, args),
+        label=builder,
+    )
+    root.attrs.update(
         rule=RULE_TILED_SHUFFLE,
+        builder=builder,
+        reusable=True,
         description=(
             "output indices are computed from input indices; tiles "
             "replicated to their destination set I_f(K) and regrouped"
         ),
-        thunk=lambda: _result_storage(setup, builder, args, tiles_rdd, stats=out_stats),
         pseudocode=(
             "Tiled(d, rdd[ (K, V) | (k, _a) <- X.tiles,\n"
             f"              K <- I_f(k),   // key = {to_source(setup.info.head_key)}\n"
             "              group by K ])"
         ),
         details={"key": to_source(info.head_key)},
+        payload=dict(
+            setup=setup, builder=builder, args=args, out_dims=out_dims,
+            key_fns=key_fns, value_fn=value_fn, masks=masks,
+            out_stats=out_stats,
+        ),
     )
+    return root
 
 
 # ----------------------------------------------------------------------
@@ -697,10 +646,15 @@ def plan_shuffle(setup: TiledSetup, builder: str, args: tuple) -> Optional[Plan]
 # ----------------------------------------------------------------------
 
 
-def plan_tiled_reduce(
+def emit_tiled_reduce(
     setup: TiledSetup, builder: str, args: tuple
-) -> Optional[Plan]:
-    """Join tiles on index equalities, contract per pair, reduceByKey(⊗′)."""
+) -> Optional[IRNode]:
+    """Join tiles on index equalities, contract per pair, reduceByKey(⊗′).
+
+    Checks the 5.3 preconditions and compiles the partial/residual
+    kernels; the tile join and reduceByKey are assembled in
+    :mod:`repro.planner.lower`.
+    """
     info = setup.info
     if info.group_key_vars is None or info.post_group_quals or not info.slots:
         return None
@@ -717,7 +671,6 @@ def plan_tiled_reduce(
     ] and [to_source(e) for e in head_parts] != [to_source(e) for e in key_exprs]:
         return None
 
-    allowed = _all_vars(setup)
     if setup.info.residual_guards and len(setup.gens) != 1:
         # Guards on joined generators interact with the contraction;
         # the single-generator path masks them with the monoid zero.
@@ -726,43 +679,52 @@ def plan_tiled_reduce(
     if any(m.np_combine is None for m in slot_monoids):
         return None
 
-    joined = _join_on_shared_classes(setup)
-    if joined is None:
-        return None
-
     compute = _partial_tile_fn(setup, out_classes)
     if compute is None:
         return None
-
-    def to_partial(record):
-        coords, tiles = record
-        key = tuple(coords[cls] for cls in out_classes)
-        return key, compute(coords, tiles)
-
-    def combine(left, right):
-        return tuple(
-            combine_tiles(m, a, b) for m, a, b in zip(slot_monoids, left, right)
-        )
-
-    partials = joined.map(to_partial)
-    reduced = partials.reduce_by_key(combine)
     finish = _residual_fn(setup, out_classes)
-    tiles_rdd = reduced.map(lambda kv: (kv[0], finish(kv[0], kv[1])))
     out_stats = _drop_if_dense(_contraction_stats(setup, out_classes))
 
-    return Plan(
+    scans = tuple(scan_gen_node(gen) for gen in setup.gens)
+    reduce_node = IRNode(
+        op=OP_TILED_REDUCE,
+        children=scans,
+        sig=(
+            ("slots", tuple(
+                (to_source(slot.expr), slot.monoid) for slot in info.slots
+            )),
+            ("group", tuple(to_source(e) for e in key_exprs)),
+            ("residual", to_source(info.residual_value)),
+            ("guards", tuple(to_source(g) for g in info.residual_guards)),
+        ),
+        label="join + reduceByKey(⊗′)",
+    )
+    root = IRNode(
+        op=OP_ASSEMBLE,
+        children=(reduce_node,),
+        sig=assemble_sig(setup, builder, args),
+        label=builder,
+    )
+    root.attrs.update(
         rule=RULE_TILED_REDUCE,
+        builder=builder,
+        reusable=True,
         description=(
             "tile-level join + per-pair partial aggregation, merged with "
             "reduceByKey over the tile monoid ⊗′"
         ),
-        thunk=lambda: _result_storage(setup, builder, args, tiles_rdd, stats=out_stats),
         pseudocode=_reduce_pseudocode(setup),
         details={
             "monoids": [m.name for m in slot_monoids],
             "generators": len(setup.gens),
         },
+        payload=dict(
+            setup=setup, builder=builder, args=args,
+            out_classes=out_classes, slot_monoids=slot_monoids,
+            compute=compute, finish=finish, out_stats=out_stats,
+        ),
     )
+    return root
 
 
 def _contraction_stats(
@@ -791,51 +753,6 @@ def _contraction_stats(
             setup.gens[0].stats, setup.gens[1].stats, join_dim, grid_join
         )
     return density.reduction(setup.gens[0].stats, join_dim, grid_join)
-
-
-def _join_on_shared_classes(setup: TiledSetup) -> Optional[RDD]:
-    """Progressively join generators' tiles on shared index classes.
-
-    Produces records ``(coords: dict class -> block coord, tiles: tuple)``.
-    """
-
-    def initial(gen: ResolvedGen) -> RDD:
-        def convert(record):
-            coords, tile = record
-            mapping: dict[int, int] = {}
-            for axis, cls in enumerate(gen.axis_classes):
-                if cls in mapping and mapping[cls] != coords[axis]:
-                    return None
-                mapping[cls] = coords[axis]
-            return mapping, (tile,)
-
-        return gen.tile_records().map(convert).filter(lambda r: r is not None)
-
-    acc = initial(setup.gens[0])
-    acc_classes = set(setup.gens[0].axis_classes)
-    for gen in setup.gens[1:]:
-        shared = sorted(acc_classes & set(gen.axis_classes))
-        nxt = initial(gen)
-        if shared:
-            left = acc.map(
-                lambda rec, s=tuple(shared): (tuple(rec[0][c] for c in s), rec)
-            )
-            right = nxt.map(
-                lambda rec, s=tuple(shared): (tuple(rec[0][c] for c in s), rec)
-            )
-            acc = left.join(right).map(_merge_records)
-        else:
-            acc = acc.cartesian(nxt).map(
-                lambda pair: ({**pair[0][0], **pair[1][0]}, pair[0][1] + pair[1][1])
-            )
-        acc_classes |= set(gen.axis_classes)
-    return acc
-
-
-def _merge_records(joined):
-    _key, (left, right) = joined
-    coords = {**left[0], **right[0]}
-    return coords, left[1] + right[1]
 
 
 def _partial_tile_fn(

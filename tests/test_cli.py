@@ -59,6 +59,36 @@ def test_cli_explain(data_file, capsys):
     assert "rule: preserve-tiling" in out
 
 
+def test_cli_explain_json(data_file, capsys):
+    import json
+
+    code = main([
+        "tiled(m,n)[ ((j,i),v) | ((i,j),v) <- A ]",
+        "--bind", f"A={data_file}",
+        "--define", "n=3", "--define", "m=4",
+        "--explain", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["rule"] == "preserve-tiling"
+    assert payload["physical"]["op"] == "Assemble"
+    pass_names = [entry["name"] for entry in payload["passes"]]
+    assert pass_names == [
+        "normalize-bridge", "tiling-resolution", "strategy-selection",
+        "adaptive-install", "cse",
+    ]
+
+
+def test_cli_json_requires_explain(data_file):
+    with pytest.raises(SystemExit, match="--json requires --explain"):
+        main([
+            "tiled(m,n)[ ((j,i),v) | ((i,j),v) <- A ]",
+            "--bind", f"A={data_file}",
+            "--define", "n=3", "--define", "m=4",
+            "--json",
+        ])
+
+
 def test_cli_scalar_result(vector_file, capsys):
     code = main([
         "+/[ v | (i,v) <- V ]",

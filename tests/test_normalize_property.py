@@ -1,0 +1,221 @@
+"""Property tests: ``normalize`` is idempotent and alpha-renaming stable.
+
+The pass pipeline's normalize-bridge assumes the normalizer is a real
+normal form: running it twice changes nothing, and consistently renaming
+the variables of a query yields the same normal form up to that
+renaming.  Both properties matter for plan caching — cache keys hash
+normalized trees, so an unstable normalizer would make identical
+queries miss (or worse, distinct queries collide).
+
+Hypothesis fuzzes comprehension ASTs with the same constructors as the
+round-trip suite; inputs the front end rejects (bad group-by shapes,
+constant folding hitting division by zero) are skipped, not failures.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.comprehension import (
+    BinOp, Call, Comprehension, FreshNames, Generator, GroupByQual, Guard,
+    IfExpr, Index, LetQual, Lit, RangeExpr, Reduce, TupleExpr, TuplePat,
+    UnOp, Var, VarPat, WildPat, desugar, normalize, to_source,
+)
+from repro.comprehension.ast import Node
+from repro.comprehension.errors import SacError
+from repro.comprehension.lexer import KEYWORDS
+
+SETTINGS = settings(
+    max_examples=120, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_NAMES = ["x", "y", "z", "alpha", "beta", "M", "V2", "foo_bar"]
+#: Injective, order-preserving renaming ("r" prefix keeps lexicographic
+#: order, so name-keyed tie-breaks inside normalize cannot flip).
+_RENAMING = {name: f"r{name}" for name in _NAMES}
+assert not set(_NAMES) & KEYWORDS
+assert not set(_RENAMING.values()) & (set(_NAMES) | KEYWORDS)
+
+names = st.sampled_from(_NAMES)
+
+literals = st.one_of(
+    st.integers(min_value=0, max_value=999).map(Lit),
+    st.floats(
+        min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+    ).map(lambda f: Lit(float(f))),
+    st.booleans().map(Lit),
+)
+
+_OPS = ["+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||"]
+_MONOIDS = ["+", "*", "min", "max", "&&", "||", "count", "avg"]
+
+
+def expressions(max_depth: int = 3):
+    base = st.one_of(literals, names.map(Var))
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.sampled_from(_OPS), children, children).map(
+                lambda t: BinOp(*t)
+            ),
+            children.map(lambda e: UnOp("-", e)),
+            children.map(lambda e: UnOp("!", e)),
+            st.tuples(children, children, children).map(
+                lambda t: IfExpr(*t)
+            ),
+            st.lists(children, min_size=2, max_size=3).map(
+                lambda items: TupleExpr(tuple(items))
+            ),
+            st.tuples(names, st.lists(children, min_size=0, max_size=2)).map(
+                lambda t: Call(t[0], tuple(t[1]))
+            ),
+            st.tuples(names.map(Var), st.lists(children, min_size=1, max_size=2)).map(
+                lambda t: Index(t[0], tuple(t[1]))
+            ),
+            st.tuples(children, children, st.booleans()).map(
+                lambda t: RangeExpr(*t)
+            ),
+            st.tuples(st.sampled_from(_MONOIDS), children).map(
+                lambda t: Reduce(*t)
+            ),
+        )
+
+    return st.recursive(base, extend, max_leaves=10)
+
+
+patterns = st.one_of(
+    names.map(VarPat),
+    st.just(WildPat()),
+    st.lists(names.map(VarPat), min_size=2, max_size=3).map(
+        lambda items: TuplePat(tuple(items))
+    ),
+)
+
+
+def qualifiers():
+    expr = expressions(3)
+    return st.one_of(
+        st.tuples(patterns, expr).map(lambda t: Generator(*t)),
+        st.tuples(patterns, expr).map(lambda t: LetQual(*t)),
+        expr.map(Guard),
+        st.one_of(
+            names.map(lambda n: GroupByQual(VarPat(n), None)),
+            st.tuples(names, expr).map(
+                lambda t: GroupByQual(VarPat(t[0]), t[1])
+            ),
+        ),
+    )
+
+
+comprehensions = st.tuples(
+    expressions(3), st.lists(qualifiers(), min_size=0, max_size=4)
+).map(lambda t: Comprehension(t[0], tuple(t[1])))
+
+
+def _pipeline(expr):
+    """desugar + normalize, skipping inputs the front end rejects."""
+    try:
+        fresh = FreshNames()
+        return normalize(desugar(expr, fresh=fresh), fresh=fresh)
+    except (SacError, ZeroDivisionError, OverflowError):
+        assume(False)
+
+
+# ----------------------------------------------------------------------
+# Alpha-renaming machinery for the stability property
+# ----------------------------------------------------------------------
+
+#: Fields holding a variable reference, binder, or called name.
+_NAME_FIELDS = {Var: "name", VarPat: "name", Call: "func"}
+
+
+def _name_field(node):
+    return _NAME_FIELDS.get(type(node))
+
+
+def _rename(value, mapping):
+    if isinstance(value, Node):
+        updates = {
+            f.name: _rename(getattr(value, f.name), mapping)
+            for f in dataclasses.fields(value)
+        }
+        named = _name_field(value)
+        if named is not None:
+            old = getattr(value, named)
+            updates[named] = mapping.get(old, old)
+        return type(value)(**updates)
+    if isinstance(value, tuple):
+        return tuple(_rename(item, mapping) for item in value)
+    return value
+
+
+def _alpha_equal(a, b, fwd, rev) -> bool:
+    """Structural equality modulo a growing name bijection."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, Node):
+        named = _name_field(a)
+        if named is not None:
+            name_a, name_b = getattr(a, named), getattr(b, named)
+            if fwd.setdefault(name_a, name_b) != name_b:
+                return False
+            if rev.setdefault(name_b, name_a) != name_a:
+                return False
+        for f in dataclasses.fields(a):
+            if f.name == named:
+                continue
+            if not _alpha_equal(
+                getattr(a, f.name), getattr(b, f.name), fwd, rev
+            ):
+                return False
+        return True
+    if isinstance(a, tuple):
+        return len(a) == len(b) and all(
+            _alpha_equal(x, y, fwd, rev) for x, y in zip(a, b)
+        )
+    return a == b
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+
+
+@SETTINGS
+@given(comp=comprehensions)
+def test_normalize_is_idempotent(comp):
+    once = _pipeline(comp)
+    twice = normalize(once, fresh=FreshNames())
+    assert to_source(twice) == to_source(once)
+
+
+@SETTINGS
+@given(expr=expressions())
+def test_normalize_is_idempotent_on_expressions(expr):
+    once = _pipeline(expr)
+    twice = normalize(once, fresh=FreshNames())
+    assert to_source(twice) == to_source(once)
+
+
+@SETTINGS
+@given(comp=comprehensions)
+def test_normalize_is_alpha_renaming_stable(comp):
+    """Renaming the query's variables commutes with normalization."""
+    original = _pipeline(comp)
+    renamed = _pipeline(_rename(comp, _RENAMING))
+    assert _alpha_equal(original, renamed, {}, {}), (
+        f"normal forms diverge beyond the renaming:\n"
+        f"  {to_source(original)}\n  {to_source(renamed)}"
+    )
+
+
+def test_alpha_equal_rejects_inconsistent_renaming():
+    """Sanity-check the checker itself: a swap is not a bijection."""
+    a = TupleExpr((Var("x"), Var("y"), Var("x")))
+    b = TupleExpr((Var("u"), Var("v"), Var("v")))
+    assert not _alpha_equal(a, b, {}, {})
+    c = TupleExpr((Var("u"), Var("v"), Var("u")))
+    assert _alpha_equal(a, c, {}, {})

@@ -1,0 +1,162 @@
+"""Golden pass-trace snapshots for the paper's worked examples.
+
+Every compile now records a :class:`~repro.planner.ir.PassTraceEntry`
+per pass — name, note, and the physical IR rendered before/after.  These
+tests pin the full trace (and the final physical DAG shape) for the
+paper's flagship queries, so any change to the pipeline's decisions
+shows up as a reviewable golden diff rather than a silent behavior
+change.
+
+Shapes and the cluster are fixed (TINY_CLUSTER, 10×10 tiles, dense
+arange data), making every strategy choice deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SacSession
+from repro.engine import TINY_CLUSTER
+
+TILE = 10
+
+
+@pytest.fixture()
+def session():
+    return SacSession(cluster=TINY_CLUSTER, tile_size=TILE)
+
+
+def _mat(session, rows, cols):
+    data = np.arange(float(rows * cols)).reshape(rows, cols) / (rows * cols)
+    return session.tiled(data)
+
+
+def trace_of(session, query, env):
+    plan = session.compile(query, env).plan
+    return [entry.summary() for entry in plan.trace], (
+        plan.trace[-1].after if plan.trace else ""
+    )
+
+
+PASS_NAMES = [
+    "normalize-bridge", "tiling-resolution", "strategy-selection",
+    "adaptive-install", "cse",
+]
+
+
+def test_add_trace(session):
+    """Query (8): matrix addition via an equality join -> preserve-tiling."""
+    summaries, final = trace_of(
+        session,
+        "tiled(n,m)[ ((i,j),a+b) | ((i,j),a) <- M, ((ii,jj),b) <- N2,"
+        " ii == i, jj == j ]",
+        {"M": _mat(session, 30, 20), "N2": _mat(session, 30, 20),
+         "n": 30, "m": 20},
+    )
+    assert summaries == [
+        "normalize-bridge: builder 'tiled'; 2 generator(s) analyzed",
+        "tiling-resolution: resolved 2 generator(s); index classes [0, 1],"
+        " tile size 10",
+        "strategy-selection: rule preserve-tiling [rewrote plan]",
+        "adaptive-install: not a cost-chosen group-by-join candidate",
+        "cse: disabled (enable with PlannerOptions(cse=True) or REPRO_CSE=1)",
+    ]
+    assert final == (
+        "Assemble[tiled](MapTiles[per-tile kernel]"
+        "(Scan[i,j], Scan[ii,jj]))"
+    )
+
+
+def test_multiply_trace(session):
+    """Query (9): group-by matrix multiply -> cost-chosen group-by-join."""
+    summaries, final = trace_of(
+        session,
+        "tiled(n,m)[ ((i,j),+/v) | ((i,k),a) <- M, ((kk,j),b) <- C,"
+        " kk == k, let v = a*b, group by (i,j) ]",
+        {"M": _mat(session, 30, 20), "C": _mat(session, 20, 30),
+         "n": 30, "m": 30},
+    )
+    assert summaries == [
+        "normalize-bridge: builder 'tiled'; 2 generator(s) analyzed",
+        "tiling-resolution: resolved 2 generator(s); index classes"
+        " [0, 1, 2], tile size 10",
+        "strategy-selection: rule group-by-join (strategy"
+        " gbj-broadcast-left) [rewrote plan]",
+        "adaptive-install: not a cost-chosen group-by-join candidate",
+        "cse: disabled (enable with PlannerOptions(cse=True) or REPRO_CSE=1)",
+    ]
+    assert final == (
+        "Assemble(GroupByJoin[broadcast]"
+        "(Broadcast[left](Scan[i,k]), Scan[kk,j]))"
+    )
+
+
+def test_transpose_trace(session):
+    """Section 5.1 transpose -> preserve-tiling over one scan."""
+    summaries, final = trace_of(
+        session,
+        "tiled(m,n)[ ((j,i),v) | ((i,j),v) <- M ]",
+        {"M": _mat(session, 30, 20), "n": 30, "m": 20},
+    )
+    assert summaries == [
+        "normalize-bridge: builder 'tiled'; 1 generator(s) analyzed",
+        "tiling-resolution: resolved 1 generator(s); index classes [0, 1],"
+        " tile size 10",
+        "strategy-selection: rule preserve-tiling [rewrote plan]",
+        "adaptive-install: not a cost-chosen group-by-join candidate",
+        "cse: disabled (enable with PlannerOptions(cse=True) or REPRO_CSE=1)",
+    ]
+    assert final == "Assemble[tiled](MapTiles[per-tile kernel](Scan[i,j]))"
+
+
+def test_smoothing_trace(session):
+    """Section 3 smoothing: range generators -> local interpreter fallback."""
+    summaries, final = trace_of(
+        session,
+        "tiled(n,m)[ ((ii,jj),(+/a) / count/a) | ((i,j),a) <- M,"
+        " ii <- (i-1) to (i+1), jj <- (j-1) to (j+1),"
+        " ii >= 0, ii < n, jj >= 0, jj < m, group by (ii,jj) ]",
+        {"M": _mat(session, 9, 8), "n": 9, "m": 8},
+    )
+    assert summaries == [
+        "normalize-bridge: builder 'tiled'; 1 generator(s) analyzed",
+        "tiling-resolution: generators did not resolve to tiled storages",
+        "strategy-selection: no distributed rule applies -> local fallback",
+        "adaptive-install: skipped (local plan)",
+        "cse: skipped (local plan)",
+    ]
+    assert final == ""
+
+
+def test_factorization_step_trace(session):
+    """Figure 4(c): the factorization step's X @ Y^T group-by multiply."""
+    summaries, final = trace_of(
+        session,
+        "tiled(n, m)[ ((i,j), +/v) | ((i,k),x) <- P, ((j,kk),y) <- Q,"
+        " kk == k, let v = x*y, group by (i,j) ]",
+        {"P": _mat(session, 30, 20), "Q": _mat(session, 30, 20),
+         "n": 30, "m": 30},
+    )
+    assert summaries == [
+        "normalize-bridge: builder 'tiled'; 2 generator(s) analyzed",
+        "tiling-resolution: resolved 2 generator(s); index classes"
+        " [0, 1, 2], tile size 10",
+        "strategy-selection: rule group-by-join (strategy"
+        " gbj-broadcast-left) [rewrote plan]",
+        "adaptive-install: not a cost-chosen group-by-join candidate",
+        "cse: disabled (enable with PlannerOptions(cse=True) or REPRO_CSE=1)",
+    ]
+    assert final == (
+        "Assemble(GroupByJoin[broadcast]"
+        "(Broadcast[left](Scan[i,k]), Scan[j,kk]))"
+    )
+
+
+def test_trace_appears_in_explain(session):
+    """``explain()`` lists the pass trace between candidates and pseudocode."""
+    report = session.explain(
+        "tiled(m,n)[ ((j,i),v) | ((i,j),v) <- M ]",
+        {"M": _mat(session, 30, 20), "n": 30, "m": 20},
+    )
+    assert "passes:" in report
+    for name in PASS_NAMES:
+        assert name in report

@@ -17,6 +17,9 @@ from repro import SacSession
 from repro.core.session import _LruCache
 from repro.engine import TINY_CLUSTER
 from repro.engine.partitioner import GridPartitioner
+from repro.planner import (
+    PlannerOptions, RULE_GROUP_BY_JOIN, RULE_TILED_REDUCE,
+)
 from repro.storage import TiledMatrix
 
 MULTIPLY = (
@@ -125,6 +128,56 @@ def test_miss_on_changed_partitioner(session):
     session.compile(MULTIPLY, A=regridded, B=B, n=30, m=30)
     stats = plan_stats(session)
     assert stats["hits"] == 0 and stats["misses"] == 2
+
+
+def test_miss_on_changed_planner_options(session):
+    """Strategy overrides are part of the key — no stale front halves."""
+    A, B = _mats(session)
+    first = session.compile(MULTIPLY, A=A, B=B, n=30, m=30)
+    assert first.plan.rule == RULE_GROUP_BY_JOIN
+    session.options = PlannerOptions(group_by_join=False)
+    second = session.compile(MULTIPLY, A=A, B=B, n=30, m=30)
+    stats = plan_stats(session)
+    assert stats["hits"] == 0 and stats["misses"] == 2
+    assert second.plan.rule == RULE_TILED_REDUCE
+
+
+def test_miss_on_adaptive_toggle(session):
+    """Arming/disarming adaptive re-optimization changes the key."""
+    A, B = _mats(session)
+    session.compile(MULTIPLY, A=A, B=B, n=30, m=30)
+    session.engine.adaptive.enabled = not session.engine.adaptive.enabled
+    session.compile(MULTIPLY, A=A, B=B, n=30, m=30)
+    stats = plan_stats(session)
+    assert stats["hits"] == 0 and stats["misses"] == 2
+
+
+def test_miss_on_cse_toggle(session):
+    A, B = _mats(session)
+    session.compile(MULTIPLY, A=A, B=B, n=30, m=30)
+    session.options = PlannerOptions(cse=True)
+    session.compile(MULTIPLY, A=A, B=B, n=30, m=30)
+    stats = plan_stats(session)
+    assert stats["hits"] == 0 and stats["misses"] == 2
+
+
+def test_cse_fingerprint_swaps_in_prior_plan():
+    """With CSE on, an identical recompile hands back the same Plan.
+
+    The fingerprint hashes storage identity, so rebinding a name to a
+    *fresh* array of the same shape must still produce a new plan.
+    """
+    session = SacSession(
+        cluster=TINY_CLUSTER, tile_size=10,
+        options=PlannerOptions(cse=True),
+    )
+    A, B = _mats(session)
+    first = session.compile(MULTIPLY, A=A, B=B, n=30, m=30)
+    second = session.compile(MULTIPLY, A=A, B=B, n=30, m=30)
+    assert second.plan is first.plan
+    A2, B2 = _mats(session)
+    third = session.compile(MULTIPLY, A=A2, B=B2, n=30, m=30)
+    assert third.plan is not first.plan
 
 
 def test_cache_false_bypasses(session):
