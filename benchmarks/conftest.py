@@ -67,6 +67,12 @@ PAPER_EXPECTATIONS = {
         "Paper (Fig 4.C): SAC (GBJ) up to 3x faster than MLlib for one "
         "gradient-descent iteration."
     ),
+    "ablation-pipeline": (
+        "Extension (E12): with a deterministic map straggler, task-level "
+        "pipelining overlaps sibling shuffle branches the staged "
+        "scheduler serializes — expect >=1.5x lower wall-clock makespan "
+        "at byte-identical counters and simulated time."
+    ),
     "ablation-coordinate": (
         "Section 4/5 discussion: coordinate format shuffles every element; "
         "tiled arrays shuffle whole blocks — expect orders of magnitude "

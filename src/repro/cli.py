@@ -113,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--tile-size", type=int, default=100, help="block side length N"
     )
     parser.add_argument(
+        "--pipeline", action="store_true",
+        help="run with the task-level pipelined scheduler (tasks fire as "
+             "their inputs land instead of waiting at stage barriers)",
+    )
+    parser.add_argument(
         "--explain", action="store_true",
         help="print the compilation report instead of executing",
     )
@@ -127,14 +132,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--metrics", action="store_true",
-        help="print engine metrics after execution",
+        help="print engine metrics after execution (counter summary, "
+             "per-stage task-time histograms, straggler ratio, critical "
+             "path; with --json, emitted as one JSON object)",
     )
     return parser
 
 
+def _metrics_report(session: SacSession, as_json: bool) -> None:
+    """Execution metrics: counters plus task-level timing statistics."""
+    total = session.engine.metrics.total
+    if as_json:
+        import json
+
+        print(json.dumps({
+            "stages": total.stages,
+            "tasks": total.tasks,
+            "shuffles": total.shuffles,
+            "shuffle_records": total.shuffle_records,
+            "shuffle_bytes": total.shuffle_bytes,
+            "task_retries": total.task_retries,
+            "compute_seconds": total.compute_seconds,
+            "simulated_seconds": session.simulated_time(),
+            "critical_path_seconds": total.critical_path_seconds(),
+            "straggler_ratio": total.straggler_ratio(),
+            "stage_histograms": total.stage_histograms(),
+            "pipeline": session.engine.pipeline,
+        }, indent=2))
+        return
+    print(total.summary())
+    print(f"simulated cluster time: {session.simulated_time():.4f}s")
+    print(
+        f"task scheduling: critical path "
+        f"{total.critical_path_seconds():.4f}s, straggler ratio "
+        f"{total.straggler_ratio():.2f}, {total.task_retries} retries"
+        f"{' (pipelined)' if session.engine.pipeline else ''}"
+    )
+    for index, hist in enumerate(total.stage_histograms()):
+        print(
+            f"  stage {index}: {hist['num_tasks']} tasks, "
+            f"p50 {hist['p50_seconds']:.4f}s, p95 {hist['p95_seconds']:.4f}s, "
+            f"max {hist['max_seconds']:.4f}s"
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    session = SacSession(tile_size=args.tile_size)
+    session = SacSession(
+        tile_size=args.tile_size,
+        runner="pipelined" if args.pipeline else None,
+        pipeline=True if args.pipeline else None,
+    )
 
     env: dict[str, Any] = {}
     for binding in args.bind:
@@ -160,8 +208,8 @@ def main(argv: list[str] | None = None) -> int:
             print(session.explain(args.query, env))
         return 0
 
-    if args.json:
-        raise SystemExit("--json requires --explain")
+    if args.json and not args.metrics:
+        raise SystemExit("--json requires --explain or --metrics")
 
     result = session.run(args.query, env)
 
@@ -178,8 +226,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"result: {result!r}")
 
     if args.metrics:
-        print(session.engine.metrics.total.summary())
-        print(f"simulated cluster time: {session.simulated_time():.4f}s")
+        _metrics_report(session, args.json)
     return 0
 
 
@@ -216,8 +263,7 @@ def _run_loops(session: SacSession, args, env: dict[str, Any]) -> int:
         if args.output:
             _save_result(result, f"{statement.target}_{args.output}")
     if args.metrics:
-        print(session.engine.metrics.total.summary())
-        print(f"simulated cluster time: {session.simulated_time():.4f}s")
+        _metrics_report(session, args.json)
     return 0
 
 

@@ -137,6 +137,14 @@ class SacSession:
             (byte-identical to the pre-adaptive engine).  When an
             ``engine`` is supplied, a non-``None`` value overrides that
             engine's setting.
+        pipeline: task-graph (pipelined) job execution — break the stage
+            barrier and fire each task as soon as the partitions it
+            reads have landed.  ``None`` (default) consults the
+            ``REPRO_PIPELINE`` environment variable and otherwise
+            enables it only for a ``PipelinedTaskRunner``; off, the
+            staged scheduler runs with byte-identical metrics counters.
+            When an ``engine`` is supplied, a non-``None`` value
+            overrides that engine's setting.
     """
 
     def __init__(
@@ -149,6 +157,7 @@ class SacSession:
         runner: Any = None,
         memory_budget: Optional[int] = None,
         adaptive: Optional[bool] = None,
+        pipeline: Optional[bool] = None,
     ):
         if engine is None:
             if adaptive is None:
@@ -160,10 +169,14 @@ class SacSession:
                 )
             engine = EngineContext(
                 cluster=cluster, runner=runner, memory_budget=memory_budget,
-                adaptive=adaptive,
+                adaptive=adaptive, pipeline=pipeline,
             )
-        elif adaptive is not None:
-            engine.adaptive.enabled = adaptive
+        else:
+            if adaptive is not None:
+                engine.adaptive.enabled = adaptive
+            if pipeline is not None:
+                engine.scheduler.pipeline = pipeline
+                engine.pipeline = pipeline
         self.engine = engine
         self.tile_size = tile_size
         self.options = options or PlannerOptions()

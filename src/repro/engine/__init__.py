@@ -17,13 +17,24 @@ from .metrics import JobMetrics, MetricsRegistry
 from .partitioner import GridPartitioner, HashPartitioner, Partitioner, portable_hash
 from .rdd import RDD
 from .scheduler import (
+    FaultInjection,
+    InjectedFatalTaskError,
+    InjectedTaskFailure,
+    PipelinedTaskRunner,
     SerialTaskRunner,
     TaskRunner,
     ThreadedTaskRunner,
+    TransientTaskError,
     resolve_runner,
 )
 from .serialization import RecordSizeAccountant
-from .shuffle import Aggregator, MapOutputStatistics, ShuffleManager
+from .shuffle import (
+    Aggregator,
+    MapOutputStatistics,
+    PipelinedShuffle,
+    ShuffleManager,
+)
+from .taskgraph import Task, TaskGraph, compile_job_graph
 
 __all__ = [
     "Accumulator",
@@ -35,20 +46,29 @@ __all__ = [
     "BENCH_CLUSTER",
     "ClusterSpec",
     "EngineContext",
+    "FaultInjection",
     "GridPartitioner",
     "HashPartitioner",
+    "InjectedFatalTaskError",
+    "InjectedTaskFailure",
     "JobMetrics",
     "MapOutputStatistics",
     "MetricsRegistry",
     "PAPER_CLUSTER",
     "Partitioner",
+    "PipelinedShuffle",
+    "PipelinedTaskRunner",
     "RDD",
     "RecordSizeAccountant",
     "SerialTaskRunner",
     "ShuffleManager",
+    "Task",
+    "TaskGraph",
     "TaskRunner",
     "ThreadedTaskRunner",
     "TINY_CLUSTER",
+    "TransientTaskError",
+    "compile_job_graph",
     "portable_hash",
     "resolve_runner",
 ]

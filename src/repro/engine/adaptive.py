@@ -208,20 +208,19 @@ class AdaptiveManager:
     # Map-phase planning (skew splitting)
     # ------------------------------------------------------------------
 
-    def plan_map_splits(self, parent) -> Optional[list[Iterator]]:
-        """Fan a skewed upstream partition out over several map tasks.
+    def find_skew_source(self, parent) -> Optional[tuple[list, Any]]:
+        """The wide stage feeding ``parent`` through element-wise ops.
 
-        Walks ``parent``'s lineage through element-wise narrow ops down
-        to a materialized wide stage; if that stage's measured histogram
-        shows hot partitions, returns one iterator per map task — the
-        hot partitions' record lists sliced into chunks with the narrow
-        chain re-applied per chunk, the rest untouched.  ``None`` when
-        nothing qualifies (the common case), leaving the caller on the
-        exact seed code path.
+        Returns ``(chain, node)`` — the narrow ops walked through
+        (downstream-first) and the :class:`~repro.engine.rdd.ShuffledRDD`
+        or :class:`~repro.engine.rdd.CoGroupedRDD` at the bottom — or
+        ``None`` when the walk hits anything the skew splitter cannot
+        re-run per chunk (an opaque ``map_partitions``, a cached node, a
+        narrow source).
         """
         if not self.enabled:
             return None
-        from .rdd import CoGroupedRDD, MapPartitionsRDD, ShuffledRDD, _slice
+        from .rdd import CoGroupedRDD, MapPartitionsRDD, ShuffledRDD
 
         chain: list = []
         node = parent
@@ -234,6 +233,72 @@ class AdaptiveManager:
             node = node._parent
         if not isinstance(node, (ShuffledRDD, CoGroupedRDD)) or node._cached:
             return None
+        return chain, node
+
+    @staticmethod
+    def rebuild_chain(chain: list, pid: int, records: list) -> Iterator:
+        """Re-apply a narrow element-wise chain to a slice of partition ``pid``."""
+        it: Iterator = iter(records)
+        for narrow in reversed(chain):
+            it = iter(narrow._func(pid, it))
+        return it
+
+    def plan_partition_chunks(
+        self,
+        stats: MapOutputStatistics,
+        splits: dict[int, int],
+        pid: int,
+        records: list,
+        splittable: bool,
+    ) -> Optional[list[list]]:
+        """Chunk one hot partition's records, recording the decision.
+
+        ``None`` means the partition stays a single map task (too few
+        records to slice) and no decision is recorded — exactly the
+        staged fallback.
+        """
+        want = splits[pid]
+        if splittable and len(records) < want:
+            records = _expand_cartesian_records(records, want)
+        slices = min(want, len(records))
+        if slices < 2:
+            return None
+        from .rdd import _slice
+
+        chunks = _slice(list(records), slices)
+        median = _lower_median(stats.bytes_per_partition)
+        self.record_decision(AdaptiveDecision(
+            kind="skew-split",
+            description=(
+                f"reduce partition {pid} is skewed "
+                f"({stats.bytes_per_partition[pid]} bytes vs median "
+                f"{median}); split its map input into {slices} tasks"
+            ),
+            measured={
+                "partition": pid,
+                "partition_bytes": stats.bytes_per_partition[pid],
+                "partition_records": stats.records_per_partition[pid],
+                "median_bytes": median,
+                "splits": slices,
+            },
+        ))
+        return chunks
+
+    def plan_map_splits(self, parent) -> Optional[list[Iterator]]:
+        """Fan a skewed upstream partition out over several map tasks.
+
+        Walks ``parent``'s lineage through element-wise narrow ops down
+        to a materialized wide stage; if that stage's measured histogram
+        shows hot partitions, returns one iterator per map task — the
+        hot partitions' record lists sliced into chunks with the narrow
+        chain re-applied per chunk, the rest untouched.  ``None`` when
+        nothing qualifies (the common case), leaving the caller on the
+        exact seed code path.
+        """
+        source = self.find_skew_source(parent)
+        if source is None:
+            return None
+        chain, node = source
         stats = node.output_statistics()
         if stats is None or stats.num_partitions != node.num_partitions:
             return None
@@ -243,44 +308,20 @@ class AdaptiveManager:
 
         base_output = node._materialize()
         splittable = getattr(node, "_splittable_values", False)
-        median = _lower_median(stats.bytes_per_partition)
-
-        def rebuilt(pid: int, records: list) -> Iterator:
-            it: Iterator = iter(records)
-            for narrow in reversed(chain):
-                it = iter(narrow._func(pid, it))
-            return it
 
         map_outputs: list[Iterator] = []
         for pid in range(node.num_partitions):
-            want = splits.get(pid)
-            if want is None:
+            if pid not in splits:
                 map_outputs.append(parent.iterator(pid))
                 continue
-            records = base_output[pid]
-            if splittable and len(records) < want:
-                records = _expand_cartesian_records(records, want)
-            slices = min(want, len(records))
-            if slices < 2:
+            chunks = self.plan_partition_chunks(
+                stats, splits, pid, base_output[pid], splittable
+            )
+            if chunks is None:
                 map_outputs.append(parent.iterator(pid))
                 continue
-            for chunk in _slice(list(records), slices):
-                map_outputs.append(rebuilt(pid, chunk))
-            self.record_decision(AdaptiveDecision(
-                kind="skew-split",
-                description=(
-                    f"reduce partition {pid} is skewed "
-                    f"({stats.bytes_per_partition[pid]} bytes vs median "
-                    f"{median}); split its map input into {slices} tasks"
-                ),
-                measured={
-                    "partition": pid,
-                    "partition_bytes": stats.bytes_per_partition[pid],
-                    "partition_records": stats.records_per_partition[pid],
-                    "median_bytes": median,
-                    "splits": slices,
-                },
-            ))
+            for chunk in chunks:
+                map_outputs.append(self.rebuild_chain(chain, pid, chunk))
         return map_outputs
 
     def _plan_skew_splits(self, stats: MapOutputStatistics) -> dict[int, int]:

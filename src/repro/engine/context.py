@@ -11,7 +11,9 @@ from .block_manager import BlockManager
 from .cluster import PAPER_CLUSTER, ClusterSpec
 from .metrics import MetricsRegistry
 from .rdd import RDD, ParallelCollectionRDD
-from .scheduler import DAGScheduler, TaskRunner, resolve_runner
+from .scheduler import (
+    DAGScheduler, PipelinedTaskRunner, TaskRunner, resolve_runner,
+)
 from .shuffle import ShuffleManager
 
 T = TypeVar("T")
@@ -80,10 +82,14 @@ class EngineContext:
         memory_budget: Optional[int] = None,
         reuse_shuffles: Optional[bool] = None,
         adaptive: Optional[bool] = None,
+        pipeline: Optional[bool] = None,
     ):
         self.cluster = cluster
         self.metrics = MetricsRegistry()
         self.runner = resolve_runner(runner, cluster)
+        # Bind the runner to this context's metrics so task retries land
+        # in the right JobMetrics.
+        self.runner.metrics = self.metrics
         if reuse_shuffles is None:
             reuse_shuffles = os.environ.get(
                 "REPRO_SHUFFLE_REUSE", ""
@@ -102,8 +108,18 @@ class EngineContext:
         self.shuffle_manager = ShuffleManager(
             self.metrics, self.runner, adaptive=self.adaptive
         )
+        if pipeline is None:
+            # Task-graph execution defaults on for runners that execute
+            # graphs natively; ``REPRO_PIPELINE`` overrides for A/B runs.
+            env = os.environ.get("REPRO_PIPELINE")
+            if env is not None:
+                pipeline = env.lower() in ("1", "true", "yes")
+            else:
+                pipeline = isinstance(self.runner, PipelinedTaskRunner)
+        self.pipeline = pipeline
         self.scheduler = DAGScheduler(
-            self.metrics, self.runner, adaptive=self.adaptive
+            self.metrics, self.runner, adaptive=self.adaptive,
+            pipeline=pipeline,
         )
         self._default_parallelism = default_parallelism or cluster.default_parallelism()
         self._rdd_counter = 0

@@ -31,11 +31,37 @@ from .cluster import ClusterSpec
 
 @dataclass
 class StageCost:
-    """Per-stage task timing, for makespan-aware simulation."""
+    """Per-stage task timing, for makespan-aware simulation.
+
+    Besides the makespan inputs (total and longest task), the stage keeps
+    a small per-task wall-time histogram (p50/p95/max) so stragglers are
+    visible per stage: a healthy stage has ``longest ≈ p50``, a skewed or
+    delayed one has ``longest >> p50``.
+    """
 
     num_tasks: int
     total_seconds: float
     longest_task_seconds: float
+    p50_seconds: float = 0.0
+    p95_seconds: float = 0.0
+
+    def histogram(self) -> dict:
+        """The stage's task-time histogram as a plain dict (for reports)."""
+        return {
+            "num_tasks": self.num_tasks,
+            "total_seconds": self.total_seconds,
+            "p50_seconds": self.p50_seconds,
+            "p95_seconds": self.p95_seconds,
+            "max_seconds": self.longest_task_seconds,
+        }
+
+
+def _percentile(ordered: list, fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample."""
+    if not ordered:
+        return 0.0
+    rank = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
 
 
 @dataclass
@@ -62,6 +88,9 @@ class JobMetrics:
     cache_misses: int = 0
     cache_evicted_bytes: int = 0
     shuffle_reuses: int = 0
+    #: Tasks re-executed after a :class:`~repro.engine.scheduler.TransientTaskError`
+    #: (bounded by the runner's ``max_task_retries``).
+    task_retries: int = 0
     stage_costs: list = field(default_factory=list)
     #: Runtime re-optimizations (:class:`~repro.engine.adaptive.AdaptiveDecision`)
     #: taken while this job ran: coalesced reduce phases, skew splits,
@@ -82,6 +111,7 @@ class JobMetrics:
         self.cache_misses += other.cache_misses
         self.cache_evicted_bytes += other.cache_evicted_bytes
         self.shuffle_reuses += other.shuffle_reuses
+        self.task_retries += other.task_retries
         self.stage_costs.extend(other.stage_costs)
         self.adaptive_decisions.extend(other.adaptive_decisions)
 
@@ -122,6 +152,35 @@ class JobMetrics:
         compute += extra * scale / cores
         network = self.shuffle_bytes / cluster.network_bandwidth
         return launch + compute + network
+
+    def stage_histograms(self) -> list[dict]:
+        """Per-stage task-time histograms (p50/p95/max), in stage order."""
+        return [stage.histogram() for stage in self.stage_costs]
+
+    def critical_path_seconds(self) -> float:
+        """Lower bound on makespan: the longest task of every stage.
+
+        Stages serialize at shuffle barriers under staged execution, so
+        the sum of per-stage longest tasks is the barrier-model critical
+        path.  A pipelined run can beat it by overlapping one stage's
+        straggler with another stage's work — comparing this number
+        against measured wall time is how the harness attributes a
+        pipelining win.
+        """
+        return sum(stage.longest_task_seconds for stage in self.stage_costs)
+
+    def straggler_ratio(self) -> float:
+        """Worst per-stage ``longest_task / p50`` over the job's stages.
+
+        1.0 means perfectly balanced stages; a stage with one task
+        delayed to 5x the median reports ~5.
+        """
+        ratios = [
+            stage.longest_task_seconds / stage.p50_seconds
+            for stage in self.stage_costs
+            if stage.p50_seconds > 1e-12
+        ]
+        return max(ratios) if ratios else 1.0
 
     def summary(self) -> str:
         """One-line human-readable counter summary."""
@@ -254,8 +313,15 @@ class MetricsRegistry:
             if task_seconds:
                 total = sum(task_seconds)
                 job.compute_seconds += total
+                ordered = sorted(task_seconds)
                 job.stage_costs.append(
-                    StageCost(num_tasks, total, max(task_seconds))
+                    StageCost(
+                        num_tasks,
+                        total,
+                        ordered[-1],
+                        p50_seconds=_percentile(ordered, 0.50),
+                        p95_seconds=_percentile(ordered, 0.95),
+                    )
                 )
             else:
                 job.stage_costs.append(StageCost(num_tasks, 0.0, 0.0))
@@ -305,6 +371,11 @@ class MetricsRegistry:
         with self._lock:
             self.current.shuffle_reuses += 1
 
+    def record_task_retry(self) -> None:
+        """A task was re-executed after a transient failure."""
+        with self._lock:
+            self.current.task_retries += 1
+
     def simulated_time(self, cluster: ClusterSpec) -> float:
         """Simulated time of everything recorded so far on ``cluster``."""
         return self.total.simulated_time(cluster)
@@ -338,6 +409,7 @@ class MetricsRegistry:
         delta.cache_misses -= snapshot.cache_misses
         delta.cache_evicted_bytes -= snapshot.cache_evicted_bytes
         delta.shuffle_reuses -= snapshot.shuffle_reuses
+        delta.task_retries -= snapshot.task_retries
         delta.stage_costs = delta.stage_costs[len(snapshot.stage_costs):]
         delta.adaptive_decisions = delta.adaptive_decisions[
             len(snapshot.adaptive_decisions):

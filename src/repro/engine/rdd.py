@@ -872,7 +872,65 @@ class MapPartitionsRDD(RDD):
         return iter(self._func(split, self._parent.iterator(split)))
 
 
-class ShuffledRDD(RDD):
+#: Sentinel marking a pipelined output partition that has not landed yet.
+_PENDING = object()
+
+
+class _PipelinedWide:
+    """Per-partition output slots for task-graph (pipelined) execution.
+
+    While a pipelined job runs, a wide node's output partitions land one
+    at a time in :attr:`_pipeline_slots`; downstream tasks whose
+    dependency edges have fired read them through :meth:`compute` before
+    the node is fully materialized.  When every partition has landed the
+    compiler *promotes* the slots to the permanent ``_output`` (the same
+    object shape the staged path produces), so later jobs see a
+    materialized node indistinguishable from a staged run.
+    """
+
+    _pipeline_slots: Optional[list] = None
+
+    def _pipeline_install(self) -> None:
+        self._pipeline_slots = [_PENDING] * self._num_partitions
+
+    def _pipeline_fill(self, split: int, records: list) -> None:
+        self._pipeline_slots[split] = records
+
+    def _pipeline_promote(self, output: list) -> None:
+        self._output = output
+        self._pipeline_slots = None
+
+    def _pipeline_cleanup(self) -> None:
+        """Drop un-promoted slots (no-op after promotion)."""
+        self._pipeline_slots = None
+
+    def _pipeline_compute(self, split: int) -> Optional[Iterator]:
+        """Partition ``split`` from the in-flight slots, or ``None``.
+
+        Raises when the slot has not landed: a pipelined task reading an
+        unfilled slot means the task graph is missing a dependency edge,
+        which must fail loudly rather than silently re-run the shuffle.
+        """
+        slots = self._pipeline_slots
+        if slots is None:
+            return None
+        value = slots[split]
+        if value is _PENDING:
+            raise RuntimeError(
+                f"pipelined read of partition {split} of rdd {self.id} "
+                f"before it landed (missing task-graph dependency edge)"
+            )
+        return iter(value)
+
+    def _check_not_pipelining(self) -> None:
+        if self._pipeline_slots is not None:
+            raise RuntimeError(
+                f"cannot materialize rdd {self.id} behind a stage barrier "
+                f"while a pipelined job is producing it"
+            )
+
+
+class ShuffledRDD(_PipelinedWide, RDD):
     """Wide dependency: repartitions (and optionally combines) by key.
 
     The shuffle runs once, on first access to any output partition, and its
@@ -897,6 +955,7 @@ class ShuffledRDD(RDD):
         self._output: Optional[list[list[tuple[Any, Any]]]] = None
         self._map_stats: Optional[MapOutputStatistics] = None
         self._materialize_lock = threading.Lock()
+        self._pipeline_slots = None
 
     @property
     def dependencies(self) -> list[RDD]:
@@ -930,6 +989,7 @@ class ShuffledRDD(RDD):
     def _materialize(self) -> list[list[tuple[Any, Any]]]:
         output = self._output
         if output is None:
+            self._check_not_pipelining()
             # Concurrent result tasks race here; one thread runs (and
             # accounts) the shuffle, the rest reuse its output.
             with self._materialize_lock:
@@ -963,7 +1023,8 @@ class ShuffledRDD(RDD):
             if expanded is not None:
                 map_outputs = expanded
         output = self.ctx.shuffle_manager.shuffle(
-            map_outputs, self.partitioner, self._aggregator
+            map_outputs, self.partitioner, self._aggregator,
+            stage_label=str(self.id),
         )
         self._map_stats = getattr(output, "stats", None)
         blocks.register_shuffle(
@@ -972,41 +1033,49 @@ class ShuffledRDD(RDD):
         )
         return output
 
+    def _combine_partition(self, split: int) -> tuple[list, float]:
+        """The in-place combine work for one co-partitioned partition.
+
+        Shared by the staged :meth:`_local_combine` stage and the
+        pipelined combine tasks; returns ``(combined, own_seconds)``.
+        """
+        with self.ctx.metrics.task_timer() as timer:
+            self.ctx.runner.fault_point(f"combine:{self.id}", split)
+            records = self._parent.iterator(split)
+            if self._aggregator is None:
+                combined = list(records)
+            else:
+                combiners: dict[Any, Any] = {}
+                agg = self._aggregator
+                for key, value in records:
+                    if key in combiners:
+                        combiners[key] = agg.merge_value(combiners[key], value)
+                    else:
+                        combiners[key] = agg.create_combiner(value)
+                combined = list(combiners.items())
+        return combined, timer.own_seconds
+
     def _local_combine(self) -> list[list[tuple[Any, Any]]]:
         """Parent already partitioned correctly: combine in place."""
-
-        def make_task(split: int) -> Callable[[], tuple]:
-            def task() -> tuple:
-                with self.ctx.metrics.task_timer() as timer:
-                    records = self._parent.iterator(split)
-                    if self._aggregator is None:
-                        combined = list(records)
-                    else:
-                        combiners: dict[Any, Any] = {}
-                        agg = self._aggregator
-                        for key, value in records:
-                            if key in combiners:
-                                combiners[key] = agg.merge_value(combiners[key], value)
-                            else:
-                                combiners[key] = agg.create_combiner(value)
-                        combined = list(combiners.items())
-                return combined, timer
-
-            return task
-
         results = self.ctx.runner.run_stage(
-            [make_task(split) for split in range(self._parent.num_partitions)]
+            [
+                (lambda split=split: self._combine_partition(split))
+                for split in range(self._parent.num_partitions)
+            ]
         )
-        output = [combined for combined, _timer in results]
-        task_seconds = [timer.own_seconds for _combined, timer in results]
+        output = [combined for combined, _seconds in results]
+        task_seconds = [seconds for _combined, seconds in results]
         self.ctx.metrics.record_stage(self._parent.num_partitions, task_seconds)
         return output
 
     def compute(self, split: int) -> Iterator:
+        pipelined = self._pipeline_compute(split)
+        if pipelined is not None:
+            return pipelined
         return iter(self._materialize()[split])
 
 
-class CoGroupedRDD(RDD):
+class CoGroupedRDD(_PipelinedWide, RDD):
     """Groups several keyed RDDs by key into ``(key, (list_0, list_1, ...))``.
 
     Each parent that is not already partitioned compatibly is shuffled
@@ -1020,6 +1089,7 @@ class CoGroupedRDD(RDD):
         self._parents = parents
         self._output: Optional[list[list[tuple[Any, Any]]]] = None
         self._materialize_lock = threading.Lock()
+        self._pipeline_slots = None
         #: Per-parent map-output histograms, filled during materialization
         #: (``None`` for a parent that never crossed the shuffle).
         self._parent_stats: list[Optional[MapOutputStatistics]] = []
@@ -1064,35 +1134,43 @@ class CoGroupedRDD(RDD):
     def _materialize(self) -> list[list[tuple[Any, Any]]]:
         output = self._output
         if output is None:
+            self._check_not_pipelining()
             with self._materialize_lock:
                 if self._output is None:
                     self._output = self._run_cogroup()
                 output = self._output
         return output
 
-    def _parent_buckets(self, parent: RDD) -> list[list[tuple[Any, Any]]]:
+    def _drain_partition(self, parent: RDD, index: int, split: int) -> tuple:
+        """Drain one co-partitioned parent partition in place.
+
+        Shared by the staged stage below and the pipelined drain tasks;
+        returns ``(records, own_seconds)``.
+        """
+        with self.ctx.metrics.task_timer() as timer:
+            self.ctx.runner.fault_point(f"drain:{self.id}.{index}", split)
+            records = list(parent.iterator(split))
+        return records, timer.own_seconds
+
+    def _parent_buckets(
+        self, parent: RDD, index: int
+    ) -> list[list[tuple[Any, Any]]]:
         """One bucket per output partition for one parent."""
         if parent.partitioner == self.partitioner:
             # Already co-partitioned: drain parent partitions in place
             # (independent splits, so they fan out on the runner).
-
-            def make_drain_task(split: int) -> Callable[[], tuple]:
-                def task() -> tuple:
-                    with self.ctx.metrics.task_timer() as timer:
-                        records = list(parent.iterator(split))
-                    return records, timer
-
-                return task
-
             results = self.ctx.runner.run_stage(
-                [make_drain_task(i) for i in range(parent.num_partitions)]
+                [
+                    (lambda i=i: self._drain_partition(parent, index, i))
+                    for i in range(parent.num_partitions)
+                ]
             )
             self.ctx.metrics.record_stage(
                 parent.num_partitions,
-                [timer.own_seconds for _records, timer in results],
+                [seconds for _records, seconds in results],
             )
             self._parent_stats.append(None)
-            return [records for records, _timer in results]
+            return [records for records, _seconds in results]
         blocks = self.ctx.block_manager
         opt_in = self._reuse_opt_in or parent._reuse_opt_in
         reused = blocks.lookup_shuffle(
@@ -1103,7 +1181,8 @@ class CoGroupedRDD(RDD):
             return reused
         map_outputs = (parent.iterator(i) for i in range(parent.num_partitions))
         buckets = self.ctx.shuffle_manager.shuffle(
-            map_outputs, self.partitioner, None
+            map_outputs, self.partitioner, None,
+            stage_label=f"{self.id}.{index}",
         )
         self._parent_stats.append(getattr(buckets, "stats", None))
         blocks.register_shuffle(
@@ -1121,13 +1200,14 @@ class CoGroupedRDD(RDD):
         # keep parent order; the per-split merges within one parent are
         # independent and fan out on the runner.
         for index, parent in enumerate(self._parents):
-            buckets = self._parent_buckets(parent)
+            buckets = self._parent_buckets(parent, index)
 
             def make_merge_task(
                 split: int, bucket: list, index: int = index
             ) -> Callable[[], Any]:
                 def task() -> Any:
                     with self.ctx.metrics.task_timer() as timer:
+                        self.ctx.runner.fault_point(f"merge:{self.id}", split)
                         table = grouped[split]
                         for key, value in bucket:
                             entry = table.get(key)
@@ -1151,6 +1231,9 @@ class CoGroupedRDD(RDD):
         return [list(table.items()) for table in grouped]
 
     def compute(self, split: int) -> Iterator:
+        pipelined = self._pipeline_compute(split)
+        if pipelined is not None:
+            return pipelined
         return iter(self._materialize()[split])
 
 

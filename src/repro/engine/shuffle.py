@@ -27,10 +27,23 @@ reduce tasks (merge one bucket) are independent, so both fan out on the
 engine's shared :class:`~repro.engine.scheduler.TaskRunner`.  Buckets
 are concatenated in map-partition order afterwards, which makes the
 output — and every recorded counter — identical to the serial drain.
+
+Two execution shapes share the same per-partition map work
+(:func:`_map_partition`):
+
+* :meth:`ShuffleManager.shuffle` — the staged path: one barrier after
+  the map phase, one after the reduce phase.
+* :class:`PipelinedShuffle` — per-partition-addressable state for the
+  task-graph scheduler: map slots land individually (each slot's
+  buckets, bytes, and timing are stored as they complete), partial
+  statistics are readable while the map phase is still running, and
+  ``finish_map_phase`` concatenates slots in deterministic slot order so
+  every byte counter matches the staged path exactly.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Optional
@@ -114,6 +127,68 @@ class Aggregator:
     map_side_combine: bool = True
 
 
+def _combine_map_side(
+    records: Iterator[tuple[Any, Any]], aggregator: Aggregator
+) -> list[tuple[Any, Any]]:
+    """Fold values into one combiner per key within a map partition."""
+    combiners: dict[Any, Any] = {}
+    for key, value in records:
+        if key in combiners:
+            combiners[key] = aggregator.merge_value(combiners[key], value)
+        else:
+            combiners[key] = aggregator.create_combiner(value)
+    return list(combiners.items())
+
+
+def _merge_reduce_side(
+    bucket: list[tuple[Any, Any]], aggregator: Aggregator
+) -> list[tuple[Any, Any]]:
+    """Merge the (pre-combined or raw) records of one reduce bucket."""
+    merged: dict[Any, Any] = {}
+    if aggregator.map_side_combine:
+        for key, combiner in bucket:
+            if key in merged:
+                merged[key] = aggregator.merge_combiners(merged[key], combiner)
+            else:
+                merged[key] = combiner
+    else:
+        for key, value in bucket:
+            if key in merged:
+                merged[key] = aggregator.merge_value(merged[key], value)
+            else:
+                merged[key] = aggregator.create_combiner(value)
+    return list(merged.items())
+
+
+def _map_partition(
+    partition_iter: Iterator[tuple[Any, Any]],
+    partitioner: Partitioner,
+    aggregator: Optional[Aggregator],
+    accountant: RecordSizeAccountant,
+    num_reducers: int,
+) -> tuple[list[list], list[int], int]:
+    """The map-side work for one partition: drain, combine, bucket, price.
+
+    Shared verbatim by the staged and pipelined paths so their measured
+    bytes cannot diverge.  Pricing each bucket separately sums the same
+    memoized per-record sizes as a single ``batch_size(records)`` call —
+    the per-reducer histogram is free.
+    """
+    if aggregator is not None and aggregator.map_side_combine:
+        records = _combine_map_side(partition_iter, aggregator)
+    else:
+        records = list(partition_iter)
+    local_buckets: list[list] = [[] for _ in range(num_reducers)]
+    partition = partitioner.partition
+    for record in records:
+        local_buckets[partition(record[0])].append(record)
+    bucket_bytes = [
+        accountant.batch_size(bucket) if bucket else 0
+        for bucket in local_buckets
+    ]
+    return local_buckets, bucket_bytes, len(records)
+
+
 class ShuffleManager:
     """Executes shuffles and records their measured volume."""
 
@@ -136,6 +211,7 @@ class ShuffleManager:
         map_outputs: Iterable[Iterator[tuple[Any, Any]]],
         partitioner: Partitioner,
         aggregator: Optional[Aggregator] = None,
+        stage_label: Optional[str] = None,
     ) -> list[list[tuple[Any, Any]]]:
         """Run a full shuffle.
 
@@ -146,42 +222,38 @@ class ShuffleManager:
             aggregator: combining semantics; ``None`` means plain
                 re-partitioning (records pass through unmodified, possibly
                 with duplicate keys).
+            stage_label: identity suffix for fault-injection points
+                (``map:<label>`` / ``reduce:<label>``); bare ``map`` /
+                ``reduce`` when omitted.
 
         Returns:
             One list of ``(key, value)`` pairs per reduce partition.  With
             an aggregator the value is the fully merged combiner.
         """
         num_reducers = partitioner.num_partitions
+        map_label = f"map:{stage_label}" if stage_label else "map"
+        reduce_label = f"reduce:{stage_label}" if stage_label else "reduce"
         # One accountant for the whole shuffle: map partitions of one
         # shuffle share record shapes, so the signature memo hits across
         # tasks (dict access is atomic under the GIL, and a racing
         # double-insert writes the same value).
         accountant = RecordSizeAccountant()
 
-        def make_map_task(partition_iter: Iterator[tuple[Any, Any]]):
+        def make_map_task(index: int, partition_iter: Iterator[tuple[Any, Any]]):
             def map_task():
                 with self._metrics.task_timer() as timer:
-                    if aggregator is not None and aggregator.map_side_combine:
-                        records = self._combine_map_side(partition_iter, aggregator)
-                    else:
-                        records = list(partition_iter)
-                    local_buckets: list[list] = [[] for _ in range(num_reducers)]
-                    partition = partitioner.partition
-                    for record in records:
-                        local_buckets[partition(record[0])].append(record)
-                    # Price each bucket separately: the accountant sums
-                    # memoized per-record sizes, so the per-bucket split
-                    # adds up to exactly the single batch_size(records)
-                    # call it replaces — the histogram is free.
-                    bucket_bytes = [
-                        accountant.batch_size(bucket) if bucket else 0
-                        for bucket in local_buckets
-                    ]
-                return local_buckets, bucket_bytes, len(records), timer
+                    self._runner.fault_point(map_label, index)
+                    local_buckets, bucket_bytes, num_records = _map_partition(
+                        partition_iter, partitioner, aggregator,
+                        accountant, num_reducers,
+                    )
+                return local_buckets, bucket_bytes, num_records, timer
 
             return map_task
 
-        map_tasks = [make_map_task(it) for it in map_outputs]
+        map_tasks = [
+            make_map_task(index, it) for index, it in enumerate(map_outputs)
+        ]
         map_results = self._runner.run_stage(map_tasks)
 
         buckets = ShuffleResult([] for _ in range(num_reducers))
@@ -221,6 +293,7 @@ class ShuffleManager:
         def make_reduce_task(bucket_ids: list[int]):
             def reduce_task():
                 with self._metrics.task_timer() as timer:
+                    self._runner.fault_point(reduce_label, bucket_ids[0])
                     merged_buckets = [
                         (bid, self._merge_reduce_side(buckets[bid], aggregator))
                         for bid in bucket_ids
@@ -242,35 +315,128 @@ class ShuffleManager:
         self._metrics.record_stage(len(groups), reduce_task_seconds)
         return merged
 
-    @staticmethod
-    def _combine_map_side(
-        records: Iterator[tuple[Any, Any]], aggregator: Aggregator
-    ) -> list[tuple[Any, Any]]:
-        """Fold values into one combiner per key within a map partition."""
-        combiners: dict[Any, Any] = {}
-        for key, value in records:
-            if key in combiners:
-                combiners[key] = aggregator.merge_value(combiners[key], value)
-            else:
-                combiners[key] = aggregator.create_combiner(value)
-        return list(combiners.items())
+    _combine_map_side = staticmethod(_combine_map_side)
+    _merge_reduce_side = staticmethod(_merge_reduce_side)
 
-    @staticmethod
-    def _merge_reduce_side(
-        bucket: list[tuple[Any, Any]], aggregator: Aggregator
-    ) -> list[tuple[Any, Any]]:
-        """Merge the (pre-combined or raw) records of one reduce bucket."""
-        merged: dict[Any, Any] = {}
-        if aggregator.map_side_combine:
-            for key, combiner in bucket:
-                if key in merged:
-                    merged[key] = aggregator.merge_combiners(merged[key], combiner)
-                else:
-                    merged[key] = combiner
-        else:
-            for key, value in bucket:
-                if key in merged:
-                    merged[key] = aggregator.merge_value(merged[key], value)
-                else:
-                    merged[key] = aggregator.create_combiner(value)
-        return list(merged.items())
+
+class PipelinedShuffle:
+    """Per-partition-addressable state of one in-flight shuffle.
+
+    The task-graph compiler creates one per wide node whose data really
+    crosses the shuffle machinery.  Map *slots* — ``(partition, chunk)``
+    keys, so a skew-split partition's chunks slot in where the original
+    partition would — land independently via :meth:`run_map_slot`;
+    :meth:`partial_statistics` exposes the accumulating histogram while
+    the map phase is still in flight; once every slot has landed,
+    :meth:`finish_map_phase` concatenates buckets in ascending slot
+    order and records the map stage and shuffle volume — producing the
+    byte-identical counters and bucket contents of the staged
+    :meth:`ShuffleManager.shuffle`, whatever order the slots actually
+    completed in.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        runner: TaskRunner,
+        partitioner: Partitioner,
+        aggregator: Optional[Aggregator],
+        stage_label: Optional[str] = None,
+    ):
+        self._metrics = metrics
+        self._runner = runner
+        self.partitioner = partitioner
+        self.aggregator = aggregator
+        self.num_reducers = partitioner.num_partitions
+        self._map_label = f"map:{stage_label}" if stage_label else "map"
+        self._reduce_label = f"reduce:{stage_label}" if stage_label else "reduce"
+        self._accountant = RecordSizeAccountant()
+        #: slot key -> (local_buckets, bucket_bytes, num_records, seconds)
+        self._slots: dict[tuple, tuple] = {}
+        self._slots_lock = threading.Lock()
+        self._buckets: Optional[ShuffleResult] = None
+        self.stats: Optional[MapOutputStatistics] = None
+
+    def run_map_slot(
+        self,
+        slot: tuple,
+        partition_iter: Iterator[tuple[Any, Any]],
+        partition: int,
+    ) -> float:
+        """Execute the map work of one slot; returns its own-seconds.
+
+        Idempotent: a retried slot overwrites its own entry.  ``slot``
+        is ``(partition, chunk)``; ``partition`` feeds the fault point
+        so an injection targeting partition *p* hits every chunk of *p*.
+        """
+        with self._metrics.task_timer() as timer:
+            self._runner.fault_point(self._map_label, partition)
+            result = _map_partition(
+                partition_iter, self.partitioner, self.aggregator,
+                self._accountant, self.num_reducers,
+            )
+        with self._slots_lock:
+            self._slots[slot] = (*result, timer.own_seconds)
+        return timer.own_seconds
+
+    def partial_statistics(self) -> MapOutputStatistics:
+        """Histogram over the map slots that have landed so far.
+
+        The adaptive layer may read this while the map phase is still
+        running — per-partition-set decisions no longer have to wait for
+        the full stage boundary.
+        """
+        with self._slots_lock:
+            landed = list(self._slots.values())
+        partition_bytes = [0] * self.num_reducers
+        partition_records = [0] * self.num_reducers
+        for local_buckets, bucket_bytes, _num_records, _seconds in landed:
+            for reducer, local in enumerate(local_buckets):
+                if local:
+                    partition_bytes[reducer] += bucket_bytes[reducer]
+                    partition_records[reducer] += len(local)
+        return MapOutputStatistics(
+            tuple(partition_bytes), tuple(partition_records)
+        )
+
+    def finish_map_phase(self) -> tuple[ShuffleResult, MapOutputStatistics]:
+        """Concatenate all landed slots; record map stage + shuffle volume."""
+        buckets = ShuffleResult([] for _ in range(self.num_reducers))
+        partition_bytes = [0] * self.num_reducers
+        partition_records = [0] * self.num_reducers
+        task_seconds: list[float] = []
+        shuffled_records = 0
+        shuffled_bytes = 0
+        with self._slots_lock:
+            ordered = [self._slots[key] for key in sorted(self._slots)]
+        for local_buckets, bucket_bytes, num_records, seconds in ordered:
+            for reducer, local in enumerate(local_buckets):
+                if local:
+                    buckets[reducer].extend(local)
+                    partition_bytes[reducer] += bucket_bytes[reducer]
+                    partition_records[reducer] += len(local)
+            shuffled_records += num_records
+            shuffled_bytes += sum(bucket_bytes)
+            task_seconds.append(seconds)
+        stats = MapOutputStatistics(
+            tuple(partition_bytes), tuple(partition_records)
+        )
+        buckets.stats = stats
+        self.stats = stats
+        self._buckets = buckets
+        self._metrics.record_stage(len(task_seconds), task_seconds)
+        self._metrics.record_shuffle(shuffled_records, shuffled_bytes)
+        return buckets, stats
+
+    def run_reduce_group(
+        self, bucket_ids: list[int]
+    ) -> tuple[list[tuple[int, list]], float]:
+        """Merge one reduce task's buckets; returns pairs + own-seconds."""
+        aggregator = self.aggregator
+        with self._metrics.task_timer() as timer:
+            self._runner.fault_point(self._reduce_label, bucket_ids[0])
+            merged_buckets = [
+                (bid, _merge_reduce_side(self._buckets[bid], aggregator))
+                for bid in bucket_ids
+            ]
+        return merged_buckets, timer.own_seconds

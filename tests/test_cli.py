@@ -120,6 +120,59 @@ def test_cli_metrics_flag(vector_file, capsys):
     ])
     out = capsys.readouterr().out
     assert "simulated cluster time" in out
+    assert "critical path" in out
+    assert "straggler ratio" in out
+
+
+def test_cli_metrics_json(data_file, capsys):
+    import json
+
+    code = main([
+        "tiled_vector(n)[ (i, +/m) | ((i,j),m) <- A, group by i ]",
+        "--bind", f"A={data_file}",
+        "--define", "n=3",
+        "--tile-size", "2",
+        "--metrics", "--json",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out[out.index("{"):])
+    assert payload["tasks"] > 0
+    assert payload["task_retries"] == 0
+    assert payload["straggler_ratio"] >= 1.0
+    assert payload["critical_path_seconds"] > 0.0
+    assert len(payload["stage_histograms"]) == payload["stages"]
+    for hist in payload["stage_histograms"]:
+        assert hist["p50_seconds"] <= hist["p95_seconds"] <= hist["max_seconds"]
+
+
+def test_cli_pipeline_flag_matches_staged(data_file, tmp_path, capsys):
+    import json
+
+    query = "tiled_vector(n)[ (i, +/m) | ((i,j),m) <- A, group by i ]"
+    args = [
+        query,
+        "--bind", f"A={data_file}",
+        "--define", "n=3",
+        "--tile-size", "2",
+        "--metrics", "--json",
+    ]
+    base_out = str(tmp_path / "staged.npy")
+    assert main(args + ["--output", base_out]) == 0
+    staged = json.loads(_json_tail(capsys.readouterr().out))
+    pipe_out = str(tmp_path / "pipelined.npy")
+    assert main(args + ["--output", pipe_out, "--pipeline"]) == 0
+    pipelined = json.loads(_json_tail(capsys.readouterr().out))
+    np.testing.assert_array_equal(np.load(base_out), np.load(pipe_out))
+    assert staged["pipeline"] is False
+    assert pipelined["pipeline"] is True
+    for key in ("stages", "tasks", "shuffles", "shuffle_records",
+                "shuffle_bytes"):
+        assert staged[key] == pipelined[key], key
+
+
+def _json_tail(out: str) -> str:
+    return out[out.index("{"):]
 
 
 def test_cli_rejects_bad_binding(vector_file):
