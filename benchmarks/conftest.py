@@ -119,6 +119,13 @@ PAPER_EXPECTATIONS = {
         "huge tiles lose parallelism; throughput should peak at a "
         "moderate tile size."
     ),
+    "ablation-spill": (
+        "Extension (E13): a fig4c-style multiply with its working set "
+        "several times the memory cap must produce byte-identical "
+        "results and shuffle counters to the uncapped run, with all "
+        "overflow routed through the disk spill tier; async prefetch "
+        "should cut demand-restore stalls versus prefetch-off."
+    ),
 }
 
 
@@ -158,6 +165,11 @@ def run_measured(engine, fn, repeats: int = 5):
                 "cache_misses": delta.cache_misses,
                 "cache_evicted_bytes": delta.cache_evicted_bytes,
                 "shuffle_reuses": delta.shuffle_reuses,
+                "spilled_bytes": delta.spilled_bytes,
+                "restored_bytes": delta.restored_bytes,
+                "spill_restores": delta.spill_restores,
+                "prefetch_hits": delta.prefetch_hits,
+                "restore_stall_seconds": delta.restore_stall_seconds,
                 # Critical path through the stages: each stage is at least
                 # as long as its slowest task, whatever the core count.
                 "makespan_seconds": sum(
@@ -280,6 +292,18 @@ def _print_cache_counters(rows):
         print(
             f"  block manager: {hits} cache hits, {misses} misses, "
             f"{evicted / 1e6:.1f}MB evicted, {reuses} shuffle reuses"
+        )
+    spilled = sum(r.counters.get("spilled_bytes", 0) for r in rows)
+    restored = sum(r.counters.get("restored_bytes", 0) for r in rows)
+    if spilled or restored:
+        prefetch = sum(r.counters.get("prefetch_hits", 0) for r in rows)
+        stall = sum(
+            r.counters.get("restore_stall_seconds", 0.0) for r in rows
+        )
+        print(
+            f"  spill tier: {spilled / 1e6:.1f}MB spilled, "
+            f"{restored / 1e6:.1f}MB restored, {prefetch} prefetch hits, "
+            f"{stall:.3f}s restore stall"
         )
 
 

@@ -118,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
              "their inputs land instead of waiting at stage barriers)",
     )
     parser.add_argument(
+        "--memory-limit", metavar="BYTES",
+        help="cap resident block bytes (accepts 64M/2G-style suffixes); "
+             "evicted partitions spill to disk (REPRO_SPILL_DIR or a "
+             "temp directory) and restore transparently",
+    )
+    parser.add_argument(
         "--explain", action="store_true",
         help="print the compilation report instead of executing",
     )
@@ -158,9 +164,23 @@ def _metrics_report(session: SacSession, as_json: bool) -> None:
             "straggler_ratio": total.straggler_ratio(),
             "stage_histograms": total.stage_histograms(),
             "pipeline": session.engine.pipeline,
+            "spilled_bytes": total.spilled_bytes,
+            "restored_bytes": total.restored_bytes,
+            "spill_restores": total.spill_restores,
+            "spill_hit_rate": total.spill_hit_rate(),
+            "prefetch_hits": total.prefetch_hits,
+            "restore_stall_seconds": total.restore_stall_seconds,
         }, indent=2))
         return
     print(total.summary())
+    if session.engine.block_manager.spill_enabled:
+        print(
+            f"spill tier: {total.spilled_bytes} bytes spilled, "
+            f"{total.restored_bytes} restored "
+            f"({total.spill_restores} restores, hit rate "
+            f"{total.spill_hit_rate():.2f}), {total.prefetch_hits} prefetch "
+            f"hits, {total.restore_stall_seconds:.4f}s restore stall"
+        )
     print(f"simulated cluster time: {session.simulated_time():.4f}s")
     print(
         f"task scheduling: critical path "
@@ -182,6 +202,7 @@ def main(argv: list[str] | None = None) -> int:
         tile_size=args.tile_size,
         runner="pipelined" if args.pipeline else None,
         pipeline=True if args.pipeline else None,
+        memory_limit=args.memory_limit,
     )
 
     env: dict[str, Any] = {}

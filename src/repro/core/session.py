@@ -129,6 +129,14 @@ class SacSession:
             consults the ``REPRO_RUNNER`` environment variable.
         memory_budget: cached-partition byte cap for a fresh engine's
             block manager (``None`` = unbounded).
+        memory_limit: out-of-core memory cap for a fresh engine — caps
+            resident block bytes like ``memory_budget`` but evicted
+            partitions *spill to disk* and restore transparently
+            instead of being dropped for recompute.  Accepts a byte
+            count or a ``"64M"``-style string; ``None`` (default)
+            consults the ``REPRO_MEMORY_LIMIT`` environment variable
+            and otherwise leaves the tier off (byte-identical to the
+            limit-free engine).
         adaptive: adaptive query execution — measure map outputs at
             stage boundaries and re-optimize (broadcast downgrades,
             partition coalescing, skew splits).  ``None`` (default)
@@ -158,6 +166,7 @@ class SacSession:
         memory_budget: Optional[int] = None,
         adaptive: Optional[bool] = None,
         pipeline: Optional[bool] = None,
+        memory_limit: Optional[int | str] = None,
     ):
         if engine is None:
             if adaptive is None:
@@ -170,6 +179,7 @@ class SacSession:
             engine = EngineContext(
                 cluster=cluster, runner=runner, memory_budget=memory_budget,
                 adaptive=adaptive, pipeline=pipeline,
+                memory_limit=memory_limit,
             )
         else:
             if adaptive is not None:

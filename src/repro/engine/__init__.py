@@ -10,9 +10,9 @@ cluster.
 """
 
 from .adaptive import AdaptiveDecision, AdaptiveManager
-from .block_manager import BlockManager
+from .block_manager import BlockManager, ManagedOutput, SpillLostError
 from .cluster import BENCH_CLUSTER, PAPER_CLUSTER, TINY_CLUSTER, ClusterSpec
-from .context import Accumulator, Broadcast, EngineContext
+from .context import Accumulator, Broadcast, EngineContext, parse_memory_limit
 from .metrics import JobMetrics, MetricsRegistry
 from .partitioner import GridPartitioner, HashPartitioner, Partitioner, portable_hash
 from .rdd import RDD
@@ -52,6 +52,7 @@ __all__ = [
     "InjectedFatalTaskError",
     "InjectedTaskFailure",
     "JobMetrics",
+    "ManagedOutput",
     "MapOutputStatistics",
     "MetricsRegistry",
     "PAPER_CLUSTER",
@@ -62,6 +63,7 @@ __all__ = [
     "RecordSizeAccountant",
     "SerialTaskRunner",
     "ShuffleManager",
+    "SpillLostError",
     "Task",
     "TaskGraph",
     "TaskRunner",
@@ -69,6 +71,7 @@ __all__ = [
     "TINY_CLUSTER",
     "TransientTaskError",
     "compile_job_graph",
+    "parse_memory_limit",
     "portable_hash",
     "resolve_runner",
 ]

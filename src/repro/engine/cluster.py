@@ -68,6 +68,11 @@ class ClusterSpec:
     adaptive_skew_min_bytes: int = 256 * 2**10
     #: Upper bound on how many map tasks one skewed partition fans out to.
     adaptive_max_splits: int = 16
+    #: Bytes/second for the out-of-core spill tier (local-disk object
+    #: store).  Used by the cost model to price the write+read-back of
+    #: working set that overflows a configured memory limit; irrelevant
+    #: when no limit is set.
+    spill_bandwidth: float = 8.0e8
 
     @property
     def num_executors(self) -> int:

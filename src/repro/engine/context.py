@@ -19,6 +19,37 @@ from .shuffle import ShuffleManager
 T = TypeVar("T")
 
 
+def parse_memory_limit(text: str | int | None) -> Optional[int]:
+    """A byte count from ``"64M"``-style size strings (K/M/G suffixes).
+
+    Accepts plain ints (passed through), decimal strings, and strings
+    with a K/M/G/KB/MB/GB suffix (powers of 1024, case-insensitive).
+    ``None`` and ``""`` mean no limit.
+    """
+    if text is None:
+        return None
+    if isinstance(text, int):
+        return text
+    cleaned = text.strip().lower()
+    if not cleaned:
+        return None
+    multiplier = 1
+    for suffix, factor in (("kb", 1024), ("mb", 1024**2), ("gb", 1024**3),
+                           ("k", 1024), ("m", 1024**2), ("g", 1024**3),
+                           ("b", 1)):
+        if cleaned.endswith(suffix):
+            cleaned = cleaned[: -len(suffix)].strip()
+            multiplier = factor
+            break
+    try:
+        return int(float(cleaned) * multiplier)
+    except ValueError:
+        raise ValueError(
+            f"cannot parse memory limit {text!r} (expected e.g. 67108864, "
+            f"'64M', '2G')"
+        ) from None
+
+
 class Broadcast(Generic[T]):
     """A read-only value shared with every task.
 
@@ -83,6 +114,9 @@ class EngineContext:
         reuse_shuffles: Optional[bool] = None,
         adaptive: Optional[bool] = None,
         pipeline: Optional[bool] = None,
+        memory_limit: Optional[int | str] = None,
+        spill_store: Any = None,
+        spill_prefetch: Optional[bool] = None,
     ):
         self.cluster = cluster
         self.metrics = MetricsRegistry()
@@ -101,12 +135,40 @@ class EngineContext:
             adaptive = os.environ.get(
                 "REPRO_ADAPTIVE", ""
             ).lower() in ("1", "true", "yes")
+        # Out-of-core tier: ``memory_limit`` both caps resident block
+        # bytes and turns eviction into spill-to-store (the legacy
+        # ``memory_budget`` keeps the historical drop-for-recompute
+        # semantics).  With neither set, nothing spill-related exists.
+        if memory_limit is None:
+            memory_limit = os.environ.get("REPRO_MEMORY_LIMIT") or None
+        self.memory_limit = parse_memory_limit(memory_limit)
+        if spill_prefetch is None:
+            env = os.environ.get("REPRO_SPILL_PREFETCH")
+            spill_prefetch = (
+                env.lower() in ("1", "true", "yes") if env is not None else True
+            )
+        self._owns_spill_store = False
+        if self.memory_limit is not None:
+            if memory_budget is None:
+                memory_budget = self.memory_limit
+            if spill_store is None:
+                from ..storage.objectstore import LocalDiskStore
+
+                spill_store = LocalDiskStore(
+                    os.environ.get("REPRO_SPILL_DIR") or None
+                )
+                self._owns_spill_store = True
         self.block_manager = BlockManager(
-            self.metrics, memory_budget, reuse_shuffles=reuse_shuffles
+            self.metrics, memory_budget, reuse_shuffles=reuse_shuffles,
+            spill_store=spill_store, prefetch=spill_prefetch,
         )
+        # Spill/restore paths pass through the runner's fault points
+        # (``inject_failure("restore", ...)``).
+        self.block_manager.runner = self.runner
         self.adaptive = AdaptiveManager(cluster, self.metrics, enabled=adaptive)
         self.shuffle_manager = ShuffleManager(
-            self.metrics, self.runner, adaptive=self.adaptive
+            self.metrics, self.runner, adaptive=self.adaptive,
+            blocks=self.block_manager,
         )
         if pipeline is None:
             # Task-graph execution defaults on for runners that execute
@@ -119,7 +181,7 @@ class EngineContext:
         self.pipeline = pipeline
         self.scheduler = DAGScheduler(
             self.metrics, self.runner, adaptive=self.adaptive,
-            pipeline=pipeline,
+            pipeline=pipeline, block_manager=self.block_manager,
         )
         self._default_parallelism = default_parallelism or cluster.default_parallelism()
         self._rdd_counter = 0
@@ -139,8 +201,15 @@ class EngineContext:
     def close(self) -> None:
         """Release the executor pool (idempotent; context stays usable
         for serial work — a threaded runner re-spawns its pool lazily if
-        another job runs)."""
+        another job runs).  Also stops the spill prefetch pool and, when
+        this context created the spill store, closes it (removing its
+        temp directory)."""
         self.runner.close()
+        self.block_manager.close()
+        if self._owns_spill_store:
+            store = self.block_manager.spill_store
+            if store is not None:
+                store.close()
 
     def __enter__(self) -> "EngineContext":
         return self

@@ -88,6 +88,17 @@ class JobMetrics:
     cache_misses: int = 0
     cache_evicted_bytes: int = 0
     shuffle_reuses: int = 0
+    #: Out-of-core tier counters (all zero unless a ``memory_limit`` is
+    #: configured): bytes serialized to the spill store, bytes restored
+    #: from it (each restore consumes its spill object, so ``restored
+    #: <= spilled`` always), restore events, reads served from a block
+    #: the prefetcher brought back ahead of time, and wall time consumers
+    #: spent blocked on synchronous restores (the stall prefetch hides).
+    spilled_bytes: int = 0
+    restored_bytes: int = 0
+    spill_restores: int = 0
+    prefetch_hits: int = 0
+    restore_stall_seconds: float = 0.0
     #: Tasks re-executed after a :class:`~repro.engine.scheduler.TransientTaskError`
     #: (bounded by the runner's ``max_task_retries``).
     task_retries: int = 0
@@ -111,6 +122,11 @@ class JobMetrics:
         self.cache_misses += other.cache_misses
         self.cache_evicted_bytes += other.cache_evicted_bytes
         self.shuffle_reuses += other.shuffle_reuses
+        self.spilled_bytes += other.spilled_bytes
+        self.restored_bytes += other.restored_bytes
+        self.spill_restores += other.spill_restores
+        self.prefetch_hits += other.prefetch_hits
+        self.restore_stall_seconds += other.restore_stall_seconds
         self.task_retries += other.task_retries
         self.stage_costs.extend(other.stage_costs)
         self.adaptive_decisions.extend(other.adaptive_decisions)
@@ -181,6 +197,17 @@ class JobMetrics:
             if stage.p50_seconds > 1e-12
         ]
         return max(ratios) if ratios else 1.0
+
+    def spill_hit_rate(self) -> float:
+        """Fraction of off-memory reads answered by the spill tier.
+
+        A read that misses memory either restores from the spill store
+        (a spill hit) or falls back to lineage recomputation (a cache
+        miss).  1.0 means every evicted block came back from disk; 0.0
+        with spills recorded means everything had to be recomputed.
+        """
+        lookups = self.spill_restores + self.cache_misses
+        return self.spill_restores / lookups if lookups else 0.0
 
     def summary(self) -> str:
         """One-line human-readable counter summary."""
@@ -371,6 +398,38 @@ class MetricsRegistry:
         with self._lock:
             self.current.shuffle_reuses += 1
 
+    # -- Spill-tier counters --------------------------------------------
+
+    def record_spill(self, nbytes: int) -> None:
+        """A block left memory for the spill store (``nbytes`` written)."""
+        with self._lock:
+            self.current.spilled_bytes += nbytes
+
+    def record_spill_restore(
+        self, nbytes: int, stall_seconds: float = 0.0
+    ) -> None:
+        """A spilled block came back into memory.
+
+        ``stall_seconds`` is the time the consumer spent blocked waiting
+        for the restore (zero when the prefetcher did the work ahead of
+        demand).
+        """
+        with self._lock:
+            job = self.current
+            job.restored_bytes += nbytes
+            job.spill_restores += 1
+            job.restore_stall_seconds += stall_seconds
+
+    def record_restore_stall(self, seconds: float) -> None:
+        """A consumer blocked ``seconds`` waiting on an in-flight restore."""
+        with self._lock:
+            self.current.restore_stall_seconds += seconds
+
+    def record_prefetch_hit(self) -> None:
+        """A read was served from a block the prefetcher restored."""
+        with self._lock:
+            self.current.prefetch_hits += 1
+
     def record_task_retry(self) -> None:
         """A task was re-executed after a transient failure."""
         with self._lock:
@@ -409,6 +468,11 @@ class MetricsRegistry:
         delta.cache_misses -= snapshot.cache_misses
         delta.cache_evicted_bytes -= snapshot.cache_evicted_bytes
         delta.shuffle_reuses -= snapshot.shuffle_reuses
+        delta.spilled_bytes -= snapshot.spilled_bytes
+        delta.restored_bytes -= snapshot.restored_bytes
+        delta.spill_restores -= snapshot.spill_restores
+        delta.prefetch_hits -= snapshot.prefetch_hits
+        delta.restore_stall_seconds -= snapshot.restore_stall_seconds
         delta.task_retries -= snapshot.task_retries
         delta.stage_costs = delta.stage_costs[len(snapshot.stage_costs):]
         delta.adaptive_decisions = delta.adaptive_decisions[

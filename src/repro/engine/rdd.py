@@ -21,6 +21,7 @@ import threading
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Optional, TypeVar
 
 from .partitioner import HashPartitioner, Partitioner
+from .block_manager import SpillLostError
 from .shuffle import Aggregator, MapOutputStatistics
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -897,7 +898,18 @@ class _PipelinedWide:
         self._pipeline_slots[split] = records
 
     def _pipeline_promote(self, output: list) -> None:
-        self._output = output
+        blocks = self.ctx.block_manager
+        if blocks.spill_enabled:
+            # Out-of-core tier: the permanent output lives under the
+            # memory budget as managed partitions (spillable), not as a
+            # pinned driver-side list.  Mid-flight slots stay plain lists
+            # — pipelining trades strict mid-job bounding for overlap —
+            # but everything a *later* job can read is budget-governed.
+            self._output = blocks.adopt_output(
+                f"out/{self.id}", output, stats=getattr(output, "stats", None)
+            )
+        else:
+            self._output = output
         self._pipeline_slots = None
 
     def _pipeline_cleanup(self) -> None:
@@ -1057,6 +1069,32 @@ class ShuffledRDD(_PipelinedWide, RDD):
 
     def _local_combine(self) -> list[list[tuple[Any, Any]]]:
         """Parent already partitioned correctly: combine in place."""
+        blocks = self.ctx.block_manager
+        if blocks.spill_enabled:
+            # Out-of-core: each combined partition goes under the budget
+            # as soon as its task produces it, instead of accumulating
+            # in a driver-side list.  Same stage/task accounting.
+            owner = f"out/{self.id}"
+            output = blocks.managed_output(owner, self._parent.num_partitions)
+
+            def combine_task(split: int) -> float:
+                combined, seconds = self._combine_partition(split)
+                blocks.put_managed(owner, split, combined)
+                return seconds
+
+            task_seconds = self.ctx.runner.run_stage(
+                [
+                    (lambda split=split: combine_task(split))
+                    for split in range(self._parent.num_partitions)
+                ]
+            )
+            self.ctx.metrics.record_stage(
+                self._parent.num_partitions, list(task_seconds)
+            )
+            # Downstream tasks read the output from split 0 up next;
+            # warm the early (spilled-first) partitions ahead of them.
+            blocks.prefetch_namespace(owner)
+            return output
         results = self.ctx.runner.run_stage(
             [
                 (lambda split=split: self._combine_partition(split))
@@ -1068,11 +1106,40 @@ class ShuffledRDD(_PipelinedWide, RDD):
         self.ctx.metrics.record_stage(self._parent.num_partitions, task_seconds)
         return output
 
+    def _discard_lost_output(self, output: Any) -> None:
+        """Forget a materialized output whose spilled partition was lost.
+
+        Only discards when ``output`` is still the current one, so a
+        concurrent reader that failed on the *previous* generation never
+        throws away a freshly rebuilt output.
+        """
+        with self._materialize_lock:
+            if self._output is output:
+                owner = getattr(output, "owner", None)
+                if owner is not None:
+                    self.ctx.block_manager.drop_managed(owner)
+                self._output = None
+                self._map_stats = None
+
     def compute(self, split: int) -> Iterator:
         pipelined = self._pipeline_compute(split)
         if pipelined is not None:
             return pipelined
-        return iter(self._materialize()[split])
+        # A spilled output partition that cannot be restored (deleted or
+        # corrupt spill object) falls back to lineage recomputation: the
+        # whole shuffle re-runs, exactly as if the output had never been
+        # retained.
+        for _attempt in range(2):
+            output = None
+            try:
+                output = self._materialize()
+                return iter(output[split])
+            except SpillLostError:
+                if output is not None:
+                    self._discard_lost_output(output)
+        raise SpillLostError(
+            f"partition {split} of rdd {self.id} lost twice in a row"
+        )
 
 
 class CoGroupedRDD(_PipelinedWide, RDD):
@@ -1157,6 +1224,30 @@ class CoGroupedRDD(_PipelinedWide, RDD):
     ) -> list[list[tuple[Any, Any]]]:
         """One bucket per output partition for one parent."""
         if parent.partitioner == self.partitioner:
+            blocks = self.ctx.block_manager
+            if blocks.spill_enabled:
+                # Out-of-core: drained partitions park under the budget
+                # in a scratch namespace until the merge pass consumes
+                # them (dropped in :meth:`_run_cogroup`).
+                scratch = f"scratch/{self.id}.{index}"
+                out = blocks.managed_output(scratch, parent.num_partitions)
+
+                def drain_task(i: int) -> float:
+                    records, seconds = self._drain_partition(parent, index, i)
+                    blocks.put_managed(scratch, i, records)
+                    return seconds
+
+                task_seconds = self.ctx.runner.run_stage(
+                    [
+                        (lambda i=i: drain_task(i))
+                        for i in range(parent.num_partitions)
+                    ]
+                )
+                self.ctx.metrics.record_stage(
+                    parent.num_partitions, list(task_seconds)
+                )
+                self._parent_stats.append(None)
+                return out
             # Already co-partitioned: drain parent partitions in place
             # (independent splits, so they fan out on the runner).
             results = self.ctx.runner.run_stage(
@@ -1191,6 +1282,11 @@ class CoGroupedRDD(_PipelinedWide, RDD):
         return buckets
 
     def _run_cogroup(self) -> list[list[tuple[Any, Any]]]:
+        # Fresh per materialization: a lineage-fallback re-run (lost
+        # spill) must not accumulate stale per-parent histograms.
+        self._parent_stats = []
+        if self.ctx.block_manager.spill_enabled:
+            return self._run_cogroup_spill()
         arity = len(self._parents)
         grouped: list[dict[Any, tuple[list, ...]]] = [
             {} for _ in range(self.num_partitions)
@@ -1230,11 +1326,94 @@ class CoGroupedRDD(_PipelinedWide, RDD):
         self.ctx.metrics.record_stage(self.num_partitions, merge_seconds)
         return [list(table.items()) for table in grouped]
 
+    def _run_cogroup_spill(self) -> Any:
+        """Out-of-core cogroup: one split's table resident at a time.
+
+        The in-memory path keeps every split's grouped table alive while
+        parents are merged in sequence; under a memory cap that *is* the
+        working set, so the merge is restructured per split — read each
+        parent's bucket for the split (restoring from the spill tier as
+        needed), build that split's table, adopt it under the budget,
+        free it, move on.  Parent buckets and merge results keep their
+        exact in-memory ordering, so the output records and every
+        stage/task counter are byte-identical to the in-memory path:
+        per-parent drain/shuffle stages land first in the same order,
+        and the single merge stage still records ``num_partitions``
+        tasks with per-split times.
+        """
+        arity = len(self._parents)
+        blocks = self.ctx.block_manager
+        # Parent bucket handles, in parent order, before any merge runs
+        # (the same stage-recording order as the in-memory path, which
+        # also finishes every parent's shuffle before the merge stage is
+        # recorded).
+        parent_buckets = [
+            self._parent_buckets(parent, index)
+            for index, parent in enumerate(self._parents)
+        ]
+        # The merge stage reads the parent buckets split by split; start
+        # restoring their spilled partitions now so early merge tasks
+        # find them resident (prefetch fills free headroom only).
+        for handle in parent_buckets:
+            handle_owner = getattr(handle, "owner", None)
+            if handle_owner is not None:
+                blocks.prefetch_namespace(handle_owner)
+        owner = f"out/{self.id}"
+        output = blocks.managed_output(owner, self.num_partitions)
+
+        def make_merge_task(split: int) -> Callable[[], float]:
+            def task() -> float:
+                with self.ctx.metrics.task_timer() as timer:
+                    table: dict[Any, tuple[list, ...]] = {}
+                    for index in range(arity):
+                        self.ctx.runner.fault_point(f"merge:{self.id}", split)
+                        for key, value in parent_buckets[index][split]:
+                            entry = table.get(key)
+                            if entry is None:
+                                entry = tuple([] for _ in range(arity))
+                                table[key] = entry
+                            entry[index].append(value)
+                blocks.put_managed(owner, split, list(table.items()))
+                return timer.own_seconds
+
+            return task
+
+        merge_seconds = self.ctx.runner.run_stage(
+            [make_merge_task(split) for split in range(self.num_partitions)]
+        )
+        self.ctx.metrics.record_stage(self.num_partitions, list(merge_seconds))
+        for index in range(arity):
+            blocks.drop_managed(f"scratch/{self.id}.{index}")
+        # Downstream tasks read the output from split 0 up next; warm
+        # the early (spilled-first) partitions ahead of them.
+        blocks.prefetch_namespace(owner)
+        return output
+
+    def _discard_lost_output(self, output: Any) -> None:
+        """Forget a materialized cogroup whose spilled partition was lost."""
+        with self._materialize_lock:
+            if self._output is output:
+                owner = getattr(output, "owner", None)
+                if owner is not None:
+                    self.ctx.block_manager.drop_managed(owner)
+                self._output = None
+                self._parent_stats = []
+
     def compute(self, split: int) -> Iterator:
         pipelined = self._pipeline_compute(split)
         if pipelined is not None:
             return pipelined
-        return iter(self._materialize()[split])
+        for _attempt in range(2):
+            output = None
+            try:
+                output = self._materialize()
+                return iter(output[split])
+            except SpillLostError:
+                if output is not None:
+                    self._discard_lost_output(output)
+        raise SpillLostError(
+            f"partition {split} of rdd {self.id} lost twice in a row"
+        )
 
 
 class UnionRDD(RDD):

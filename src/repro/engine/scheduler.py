@@ -458,9 +458,15 @@ class DAGScheduler:
         runner: TaskRunner | None = None,
         adaptive=None,
         pipeline: bool = False,
+        block_manager=None,
     ):
         self._metrics = metrics
         self._runner = runner or SerialTaskRunner()
+        #: Optional :class:`~repro.engine.block_manager.BlockManager`;
+        #: when its spill tier is active, job dispatch prefetches the
+        #: spilled inputs of the about-to-run stages back into budget
+        #: headroom before tasks demand them.
+        self._block_manager = block_manager
         #: Optional :class:`~repro.engine.adaptive.AdaptiveManager`; when
         #: enabled, jobs are prepared (wide stages materialized one at a
         #: time, bottom-up) even under the serial runner, so each stage's
@@ -491,6 +497,37 @@ class DAGScheduler:
                 return self._run_pipelined(rdd, func)
             return self._run_staged(rdd, func)
 
+    def _prefetch_spilled_inputs(self, rdd: "RDD") -> None:
+        """Warm the spill tier's async prefetch for a job's inputs.
+
+        Walks the lineage the job is about to execute and asks the block
+        manager to restore spilled partitions of materialized wide
+        outputs and cached RDDs in the background.  Restoration is
+        bounded by the memory budget (prefetch only fills free headroom)
+        and is purely a latency optimization: a partition that is not
+        prefetched in time is restored synchronously on first read.
+        No-op unless the spill tier is active.
+        """
+        blocks = self._block_manager
+        if blocks is None or not blocks.spill_enabled:
+            return
+        seen: set[int] = set()
+        stack = [rdd]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            owner = getattr(getattr(node, "_output", None), "owner", None)
+            if owner is not None:
+                # A materialized wide output: its partitions feed the
+                # next stage directly, so its lineage will not re-run.
+                blocks.prefetch_namespace(owner)
+                continue
+            if getattr(node, "_cached", False):
+                blocks.prefetch_rdd_blocks(node.id)
+            stack.extend(node.dependencies)
+
     def _run_staged(
         self, rdd: "RDD", func: Callable[[Iterator], Any]
     ) -> list[Any]:
@@ -507,8 +544,13 @@ class DAGScheduler:
             return task
 
         adaptive_on = self._adaptive is not None and self._adaptive.enabled
+        self._prefetch_spilled_inputs(rdd)
         if self._runner.parallel or adaptive_on:
             rdd.prepare_execution(set())
+        # Wide deps materialized during preparation may themselves have
+        # spilled their outputs under the budget; warm them for the
+        # result tasks about to fan out.
+        self._prefetch_spilled_inputs(rdd)
         tasks = [make_task(split) for split in range(rdd.num_partitions)]
         results = self._runner.run_stage(tasks)
         self._metrics.record_stage(len(tasks), task_seconds)
@@ -519,6 +561,7 @@ class DAGScheduler:
     ) -> list[Any]:
         from .taskgraph import compile_job_graph
 
+        self._prefetch_spilled_inputs(rdd)
         task_seconds: list[float] = [0.0] * rdd.num_partitions
         graph, result_tasks, wide_nodes = compile_job_graph(
             rdd, func, task_seconds, self._metrics, self._runner, self._adaptive

@@ -43,6 +43,7 @@ Two execution shapes share the same per-partition map work
 
 from __future__ import annotations
 
+import pickle
 import threading
 import time
 from dataclasses import dataclass
@@ -189,6 +190,67 @@ def _map_partition(
     return local_buckets, bucket_bytes, len(records)
 
 
+class _BucketSpiller:
+    """Map-output buckets written straight to the spill store.
+
+    In spill mode the map phase never accumulates its buckets in driver
+    memory: each map task prices its buckets (identical accounting to
+    the in-memory path), then serializes every non-empty bucket to the
+    object store.  The reduce/assembly side reads a reducer's buckets
+    back in ascending map-slot order — the same concatenation order as
+    the in-memory path, so reduce inputs are byte-identical — consuming
+    (deleting) each object as it goes.  Spilled and restored bytes use
+    the accountant's bucket sizes so the counters pair up exactly.
+    """
+
+    def __init__(self, store: Any, metrics: MetricsRegistry, label: str):
+        self._store = store
+        self._metrics = metrics
+        self._label = label
+        #: (slot, reducer) -> accounted bucket bytes.
+        self._written: dict[tuple[Any, int], int] = {}
+        self._lock = threading.Lock()
+
+    def _key(self, slot: Any, reducer: int) -> str:
+        return f"shufmap/{self._label}/{slot}/{reducer}"
+
+    def write(self, slot: Any, local_buckets: list[list],
+              bucket_bytes: list[int]) -> None:
+        """Persist one map slot's non-empty buckets (idempotent)."""
+        for reducer, bucket in enumerate(local_buckets):
+            if not bucket:
+                continue
+            data = pickle.dumps(bucket, protocol=pickle.HIGHEST_PROTOCOL)
+            self._store.put(self._key(slot, reducer), data)
+            with self._lock:
+                self._written[(slot, reducer)] = bucket_bytes[reducer]
+            self._metrics.record_spill(bucket_bytes[reducer])
+
+    def read_bucket(self, reducer: int) -> list:
+        """One reducer's concatenated bucket, consumed from the store.
+
+        Entries are only forgotten (and objects only deleted) after the
+        whole bucket assembled, so a task retried partway through a read
+        still finds every object.
+        """
+        with self._lock:
+            keys = sorted(
+                (key for key in self._written if key[1] == reducer),
+                key=lambda key: key[0],
+            )
+            sizes = {key: self._written[key] for key in keys}
+        bucket: list = []
+        for key in keys:
+            store_key = self._key(key[0], reducer)
+            bucket.extend(pickle.loads(self._store.get(store_key)))
+        for key in keys:
+            with self._lock:
+                self._written.pop(key, None)
+            self._store.delete(self._key(key[0], reducer))
+            self._metrics.record_spill_restore(sizes[key])
+        return bucket
+
+
 class ShuffleManager:
     """Executes shuffles and records their measured volume."""
 
@@ -197,6 +259,7 @@ class ShuffleManager:
         metrics: MetricsRegistry,
         runner: Optional[TaskRunner] = None,
         adaptive=None,
+        blocks=None,
     ):
         self._metrics = metrics
         self._runner = runner or SerialTaskRunner()
@@ -205,6 +268,11 @@ class ShuffleManager:
         #: coalescing).  ``None`` (or disabled) reproduces the seed
         #: behavior exactly.
         self._adaptive = adaptive
+        #: Optional :class:`~repro.engine.block_manager.BlockManager`;
+        #: when its spill tier is active, shuffles run out-of-core (map
+        #: buckets stream through the spill store and reduce outputs are
+        #: adopted as budget-managed partitions).
+        self._blocks = blocks
 
     def shuffle(
         self,
@@ -228,8 +296,14 @@ class ShuffleManager:
 
         Returns:
             One list of ``(key, value)`` pairs per reduce partition.  With
-            an aggregator the value is the fully merged combiner.
+            an aggregator the value is the fully merged combiner.  With
+            the spill tier active, the partitions come back as a
+            budget-managed ``ManagedOutput`` handle (list-compatible).
         """
+        if self._blocks is not None and self._blocks.spill_enabled:
+            return self._shuffle_spill(
+                map_outputs, partitioner, aggregator, stage_label
+            )
         num_reducers = partitioner.num_partitions
         map_label = f"map:{stage_label}" if stage_label else "map"
         reduce_label = f"reduce:{stage_label}" if stage_label else "reduce"
@@ -314,6 +388,117 @@ class ShuffleManager:
             reduce_task_seconds.append(timer.own_seconds)
         self._metrics.record_stage(len(groups), reduce_task_seconds)
         return merged
+
+    def _shuffle_spill(
+        self,
+        map_outputs: Iterable[Iterator[tuple[Any, Any]]],
+        partitioner: Partitioner,
+        aggregator: Optional[Aggregator],
+        stage_label: Optional[str],
+    ):
+        """The out-of-core twin of :meth:`shuffle`.
+
+        Identical stage/task/shuffle accounting and byte-identical
+        output contents, but no phase ever holds the full data set in
+        memory: map buckets stream through the spill store
+        (:class:`_BucketSpiller`) and every output partition is adopted
+        into the block manager — admitted, counted against the budget,
+        and spilled back out if it doesn't fit — as soon as it is
+        produced.  Resident footprint is roughly the memory budget plus
+        one in-flight partition per runner worker.
+        """
+        num_reducers = partitioner.num_partitions
+        map_label = f"map:{stage_label}" if stage_label else "map"
+        reduce_label = f"reduce:{stage_label}" if stage_label else "reduce"
+        accountant = RecordSizeAccountant()
+        blocks = self._blocks
+        label = stage_label if stage_label else "anon"
+        owner = f"out/{label}"
+        spiller = _BucketSpiller(blocks.spill_store, self._metrics, label)
+
+        def make_map_task(index: int, partition_iter: Iterator[tuple[Any, Any]]):
+            def map_task():
+                with self._metrics.task_timer() as timer:
+                    self._runner.fault_point(map_label, index)
+                    local_buckets, bucket_bytes, num_records = _map_partition(
+                        partition_iter, partitioner, aggregator,
+                        accountant, num_reducers,
+                    )
+                # Spill I/O stays outside the timer so measured compute
+                # matches the in-memory path.
+                bucket_counts = [len(bucket) for bucket in local_buckets]
+                spiller.write(index, local_buckets, bucket_bytes)
+                return bucket_bytes, bucket_counts, num_records, timer
+
+            return map_task
+
+        map_tasks = [
+            make_map_task(index, it) for index, it in enumerate(map_outputs)
+        ]
+        map_results = self._runner.run_stage(map_tasks)
+
+        partition_bytes = [0] * num_reducers
+        partition_records = [0] * num_reducers
+        map_task_seconds: list[float] = []
+        shuffled_records = 0
+        shuffled_bytes = 0
+        for bucket_bytes, bucket_counts, num_records, timer in map_results:
+            for reducer, count in enumerate(bucket_counts):
+                if count:
+                    partition_bytes[reducer] += bucket_bytes[reducer]
+                    partition_records[reducer] += count
+            shuffled_records += num_records
+            shuffled_bytes += sum(bucket_bytes)
+            map_task_seconds.append(timer.own_seconds)
+
+        stats = MapOutputStatistics(tuple(partition_bytes), tuple(partition_records))
+        self._metrics.record_stage(len(map_task_seconds), map_task_seconds)
+        self._metrics.record_shuffle(shuffled_records, shuffled_bytes)
+
+        output = blocks.managed_output(owner, num_reducers, stats=stats)
+
+        if aggregator is None:
+            # Plain repartition: assemble one reducer at a time and hand
+            # each straight to the block manager.
+            for reducer in range(num_reducers):
+                blocks.put_managed(owner, reducer, spiller.read_bucket(reducer))
+            # The next stage reads the output from split 0 up; restore
+            # the early (spilled-first) partitions ahead of its tasks.
+            blocks.prefetch_namespace(owner)
+            return output
+
+        groups: Optional[list[list[int]]] = None
+        if self._adaptive is not None:
+            groups = self._adaptive.plan_reduce_groups(stats)
+        if groups is None:
+            groups = [[reducer] for reducer in range(num_reducers)]
+
+        def make_reduce_task(bucket_ids: list[int]):
+            def reduce_task():
+                with self._metrics.task_timer() as timer:
+                    self._runner.fault_point(reduce_label, bucket_ids[0])
+                    merged_buckets = [
+                        (bid, _merge_reduce_side(
+                            spiller.read_bucket(bid), aggregator
+                        ))
+                        for bid in bucket_ids
+                    ]
+                for bid, merged_bucket in merged_buckets:
+                    blocks.put_managed(owner, bid, merged_bucket)
+                return timer
+
+            return reduce_task
+
+        reduce_results = self._runner.run_stage(
+            [make_reduce_task(group) for group in groups]
+        )
+        self._metrics.record_stage(
+            len(groups), [timer.own_seconds for timer in reduce_results]
+        )
+        # The next stage reads the output from split 0 up; restore the
+        # early (spilled-first) partitions ahead of its tasks.
+        blocks.prefetch_namespace(owner)
+        return output
 
     _combine_map_side = staticmethod(_combine_map_side)
     _merge_reduce_side = staticmethod(_merge_reduce_side)

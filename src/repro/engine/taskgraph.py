@@ -409,8 +409,12 @@ class _JobCompiler:
                     node._pipeline_fill(r, buckets[r])
                 node._map_stats = stats
                 node._pipeline_promote(buckets)
+                # Register the promoted handle (identical to ``buckets``
+                # without a spill tier; a managed, spillable output with
+                # one) so registry reuse survives eviction.
                 blocks.register_shuffle(
-                    parent.id, node.partitioner, None, buckets, opt_in=opt_in
+                    parent.id, node.partitioner, None, node._output,
+                    opt_in=opt_in,
                 )
                 for r in range(num_reducers):
                     graph.release(out_tasks[r])
@@ -450,8 +454,8 @@ class _JobCompiler:
                 node._map_stats = stats
                 node._pipeline_promote(merged)
                 blocks.register_shuffle(
-                    parent.id, node.partitioner, node._aggregator, merged,
-                    opt_in=opt_in,
+                    parent.id, node.partitioner, node._aggregator,
+                    node._output, opt_in=opt_in,
                 )
 
             graph.add_task(

@@ -118,16 +118,29 @@ class CostEstimate:
     #: Input densities this candidate was priced with (``"dense"`` when
     #: both sides carried no sparsity information); surfaced by explain().
     densities: str = "dense"
+    #: Bytes the out-of-core tier would write+read back because the
+    #: candidate's working set overflows the configured memory limit
+    #: (0 when no limit is set, keeping every estimate identical to the
+    #: limit-free model).
+    spill_bytes: int = 0
+    spill_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
-        return self.compute_seconds + self.network_seconds + self.launch_seconds
+        return (
+            self.compute_seconds + self.network_seconds
+            + self.launch_seconds + self.spill_seconds
+        )
 
     def summary(self) -> str:
+        spill = (
+            f", {self.spill_bytes / 1e6:.2f}MB spill"
+            if self.spill_bytes else ""
+        )
         return (
             f"{self.strategy}: {self.shuffle_bytes / 1e6:.2f}MB shuffle "
             f"({self.shuffle_records} records), "
-            f"{self.broadcast_bytes / 1e6:.2f}MB broadcast, "
+            f"{self.broadcast_bytes / 1e6:.2f}MB broadcast{spill}, "
             f"{self.tasks} tasks on {self.effective_parallelism} cores "
             f"-> {self.total_seconds * 1e3:.2f}ms est "
             f"[priced at {self.densities}]"
@@ -165,12 +178,32 @@ class CostModel:
         cluster: ClusterSpec,
         default_parallelism: int,
         measured: Optional[dict[int, tuple[int, int]]] = None,
+        memory_limit: Optional[int] = None,
     ):
         self.cluster = cluster
         self.parallelism = default_parallelism
         self.measured = measured or {}
+        #: Engine memory cap (bytes); when set, candidates whose working
+        #: set overflows it are charged spill I/O, so plan choice reacts
+        #: to memory pressure (a strategy that replicates bands may lose
+        #: to a leaner one once the replicas no longer fit in memory).
+        self.memory_limit = memory_limit
 
     # -- shared quantities ------------------------------------------------
+
+    def _spill_term(self, working_set_bytes: float) -> tuple[int, float]:
+        """(spill bytes, spill seconds) for a candidate working set.
+
+        Working set beyond the memory limit is written to the spill
+        store and read back once — 2x the overflow — at the cluster's
+        spill bandwidth.  With no limit configured the term is zero and
+        every estimate matches the limit-free model exactly.
+        """
+        if self.memory_limit is None:
+            return 0, 0.0
+        overflow = max(0.0, working_set_bytes - self.memory_limit)
+        spill_bytes = int(round(2 * overflow))
+        return spill_bytes, spill_bytes / self.cluster.spill_bandwidth
 
     def _gen_stats(self, gen) -> tuple[int, int, int, DensityStats]:
         """(dense payload bytes, dense tile count, RDD partitions,
@@ -246,6 +279,7 @@ class CostModel:
         reduce_partitions = min(self.parallelism, gr * gc)
         parallel = min(self.cluster.total_cores, reduce_partitions)
         tasks = left_parts + right_parts + reduce_partitions
+        spill_bytes, spill_seconds = self._spill_term(shuffle_bytes)
         return CostEstimate(
             strategy=STRATEGY_REPLICATE,
             shuffle_bytes=shuffle_bytes,
@@ -264,6 +298,8 @@ class CostModel:
                 left_parts + right_parts, reduce_partitions
             ),
             densities=_density_note(ls, rs),
+            spill_bytes=spill_bytes,
+            spill_seconds=spill_seconds,
         )
 
     def tiled_reduce(self, setup: "TiledSetup", match: "GbjMatch") -> CostEstimate:
@@ -300,6 +336,7 @@ class CostModel:
         # the whole contraction runs on at most gk cores (key skew).
         parallel = min(self.cluster.total_cores, min(gk, join_parts))
         tasks = left_parts + right_parts + 2 * join_parts
+        spill_bytes, spill_seconds = self._spill_term(shuffle_bytes)
         return CostEstimate(
             strategy=STRATEGY_TILED_REDUCE,
             shuffle_bytes=shuffle_bytes,
@@ -316,6 +353,8 @@ class CostModel:
                 left_parts + right_parts, join_parts, join_parts
             ),
             densities=_density_note(ls, rs),
+            spill_bytes=spill_bytes,
+            spill_seconds=spill_seconds,
         )
 
     def broadcast(
@@ -349,6 +388,11 @@ class CostModel:
         )
         left_stats = ss if side == "left" else lls
         right_stats = lls if side == "left" else ss
+        # The broadcast copy is resident on every executor for the whole
+        # job, so it counts toward the working set alongside the shuffle.
+        spill_bytes, spill_seconds = self._spill_term(
+            shuffle_bytes + broadcast_bytes
+        )
         return CostEstimate(
             strategy=strategy,
             shuffle_bytes=shuffle_bytes,
@@ -365,6 +409,8 @@ class CostModel:
             ),
             launch_seconds=self._launch(large_parts, reduce_partitions),
             densities=_density_note(left_stats, right_stats),
+            spill_bytes=spill_bytes,
+            spill_seconds=spill_seconds,
         )
 
     def coordinate(self, setup: "TiledSetup", match: "GbjMatch") -> CostEstimate:
@@ -397,6 +443,7 @@ class CostModel:
         records_f = left_elems * dl + right_elems * dr + pairs
         shuffle_bytes = int(round(records_f * COORD_RECORD_BYTES))
         cores = max(1, self.cluster.total_cores)
+        spill_bytes, spill_seconds = self._spill_term(shuffle_bytes)
         return CostEstimate(
             strategy=STRATEGY_COORDINATE,
             shuffle_bytes=shuffle_bytes,
@@ -413,6 +460,8 @@ class CostModel:
                 self.parallelism, self.parallelism, self.parallelism
             ),
             densities=_density_note(ls, rs),
+            spill_bytes=spill_bytes,
+            spill_seconds=spill_seconds,
         )
 
 

@@ -436,6 +436,7 @@ def reconsider_join_strategy(
     model = CostModel(
         engine.cluster, engine.default_parallelism,
         measured=manager.measured_sizes,
+        memory_limit=getattr(engine, "memory_limit", None),
     )
     recost = model.candidates(setup, match)
     allowed = [

@@ -390,6 +390,7 @@ def _select_group_by(state: PlanState) -> Optional[IRNode]:
         model = CostModel(
             engine.cluster, engine.default_parallelism,
             measured=_adaptive_measurements(engine),
+            memory_limit=getattr(engine, "memory_limit", None),
         )
         candidates = model.candidates(setup, match)
         strategy = _choose_gbj_strategy(options, match, candidates)
