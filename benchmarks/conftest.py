@@ -119,6 +119,13 @@ PAPER_EXPECTATIONS = {
         "huge tiles lose parallelism; throughput should peak at a "
         "moderate tile size."
     ),
+    "ablation-fusion": (
+        "Extension (E14): per-tile kernel codegen collapses the "
+        "MapTiles/Filter interpreter chain into one generated NumPy "
+        "kernel per partition — expect >=2x lower wall clock on the "
+        "map-heavy smoothing chain at byte-identical results and "
+        "identical engine counters."
+    ),
     "ablation-spill": (
         "Extension (E13): a fig4c-style multiply with its working set "
         "several times the memory cap must produce byte-identical "

@@ -124,6 +124,12 @@ def build_parser() -> argparse.ArgumentParser:
              "temp directory) and restore transparently",
     )
     parser.add_argument(
+        "--no-fusion", action="store_true",
+        help="pin fused per-tile kernel codegen off (overrides "
+             "REPRO_FUSION=1); fused chains then run the interpreter "
+             "tile pipeline",
+    )
+    parser.add_argument(
         "--explain", action="store_true",
         help="print the compilation report instead of executing",
     )
@@ -170,9 +176,16 @@ def _metrics_report(session: SacSession, as_json: bool) -> None:
             "spill_hit_rate": total.spill_hit_rate(),
             "prefetch_hits": total.prefetch_hits,
             "restore_stall_seconds": total.restore_stall_seconds,
+            "kernel_cache_hits": total.kernel_cache_hits,
+            "kernel_cache_misses": total.kernel_cache_misses,
         }, indent=2))
         return
     print(total.summary())
+    if total.kernel_cache_hits or total.kernel_cache_misses:
+        print(
+            f"fused kernels: {total.kernel_cache_misses} compiled, "
+            f"{total.kernel_cache_hits} cache hits"
+        )
     if session.engine.block_manager.spill_enabled:
         print(
             f"spill tier: {total.spilled_bytes} bytes spilled, "
@@ -198,11 +211,17 @@ def _metrics_report(session: SacSession, as_json: bool) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    options = None
+    if args.no_fusion:
+        from .planner import PlannerOptions
+
+        options = PlannerOptions(fusion=False)
     session = SacSession(
         tile_size=args.tile_size,
         runner="pipelined" if args.pipeline else None,
         pipeline=True if args.pipeline else None,
         memory_limit=args.memory_limit,
+        options=options,
     )
 
     env: dict[str, Any] = {}

@@ -32,7 +32,8 @@ from ..comprehension import (
     Expr, FreshNames, Interpreter, desugar, normalize, parse,
 )
 from ..engine import PAPER_CLUSTER, ClusterSpec, EngineContext, RDD
-from ..planner import Plan, PlannerOptions, cse_enabled, plan_query
+from ..planner import Plan, PlannerOptions, cse_enabled, plan_state
+from ..planner.lower import lower
 from ..planner.codegen import explain as explain_plan
 from ..storage import TiledMatrix, TiledVector
 from ..storage.registry import REGISTRY, BuildContext
@@ -198,8 +199,8 @@ class SacSession:
         # Iterative algorithms re-submit identical query text every step;
         # parsing is pure, so cache the ASTs, and the (parsed,
         # normalized) pair is cached per storage signature of the
-        # bindings.  Planning always re-runs against the live
-        # environment, so a cached compile closes over fresh storages.
+        # bindings.  Lowering always re-runs against the live
+        # environment, so a cached compile builds fresh RDD lineages.
         self._parse_cache = _LruCache(512)
         self._plan_cache = _LruCache(256)
         # Whole-Plan reuse across compiles, keyed by the plan's IR
@@ -208,6 +209,12 @@ class SacSession:
         # iterative workload share lowered RDD lineages — and therefore
         # the shuffle outputs the CSE pass marked for reuse.
         self._compiled_plan_cache = _LruCache(64)
+        # Pass-pipeline reuse: the finished PlanState for one compile,
+        # keyed by the front-half key *plus* binding identities (see
+        # _pass_cache_key).  A hit skips straight to lowering, which
+        # still runs per compile so every plan gets fresh RDD lineages
+        # and execution stays byte-identical to an uncached compile.
+        self._pass_cache = _LruCache(256)
 
     def _parse_cached(self, query: str) -> Expr:
         cached = self._parse_cache.get(query)
@@ -279,6 +286,31 @@ class SacSession:
         except TypeError:  # unsortable/unhashable binding: skip the cache
             return None
 
+    def _pass_cache_key(
+        self, key: tuple, full_env: dict[str, Any]
+    ) -> Optional[tuple]:
+        """Identity-level key for reusing a pass-pipeline result.
+
+        The front-half key matches by *shape* (binding signatures
+        exclude tile contents), but a finished PlanState closes over
+        the live storage objects and scalar values, so reuse demands
+        more: the same array objects — compared by ``id()``, which is
+        stable here because the cached state keeps the storages alive —
+        and equal scalar bindings (typed, so ``1``/``1.0``/``True``
+        never alias).  Anything unhashable skips the cache.
+        """
+        try:
+            entries = tuple(sorted(
+                (name, ("id", id(value)))
+                if REGISTRY.is_storage(value) or isinstance(value, RDD)
+                else (name, ("val", type(value).__name__, value))
+                for name, value in full_env.items()
+            ))
+            hash(entries)
+        except TypeError:  # unsortable/unhashable binding: skip
+            return None
+        return (key, entries)
+
     def compile(
         self,
         query: str,
@@ -290,10 +322,12 @@ class SacSession:
         """Run the query through parse → desugar → normalize → plan.
 
         The parse→normalize front half is cached per (query text,
-        binding storage signatures); pass ``cache=False`` to bypass.
-        Planning always re-runs so the plan closes over the storages
-        actually passed in — a cache hit produces a byte-identical
-        execution, just without re-deriving the tree.
+        binding storage signatures), and the pass-pipeline back half is
+        additionally reused when the bindings are the *same objects*
+        (see :meth:`_pass_cache_key`); pass ``cache=False`` to bypass
+        both.  Lowering always re-runs so every compile hands back a
+        fresh plan over fresh RDD lineages — a cache hit produces a
+        byte-identical execution, just without re-deriving the tree.
         """
         full_env = {**(env or {}), **bindings}
         key = self._plan_cache_key(query, full_env) if cache else None
@@ -314,9 +348,20 @@ class SacSession:
             normalized = normalize(desugared, fresh=fresh)
             if key is not None:
                 self._plan_cache.put(key, (parsed, normalized))
-        plan = plan_query(
-            normalized, full_env, self.engine, self.build_context, self.options
-        )
+        # Back half: reuse the pass-pipeline result when the bindings
+        # are identical objects (not merely same-shaped), then lower —
+        # lowering always runs, so a cached compile builds the same
+        # fresh RDD lineages an uncached one would.
+        pass_key = self._pass_cache_key(key, full_env) if key is not None else None
+        state = self._pass_cache.get(pass_key) if pass_key is not None else None
+        if state is None:
+            state = plan_state(
+                normalized, full_env, self.engine, self.build_context,
+                self.options,
+            )
+            if pass_key is not None:
+                self._pass_cache.put(pass_key, state)
+        plan = lower(state)
         # With CSE on, lowering fingerprints reusable plans; an earlier
         # compile with the same key + fingerprint produced a Plan whose
         # lowered lineages (and marked shuffle outputs) this one can
@@ -336,6 +381,7 @@ class SacSession:
             "parse_cache": self._parse_cache.stats(),
             "plan_cache": self._plan_cache.stats(),
             "compiled_plan_cache": self._compiled_plan_cache.stats(),
+            "pass_cache": self._pass_cache.stats(),
         }
 
     def run(self, query: str, env: Optional[dict[str, Any]] = None, **bindings: Any) -> Any:

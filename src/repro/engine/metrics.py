@@ -99,6 +99,11 @@ class JobMetrics:
     spill_restores: int = 0
     prefetch_hits: int = 0
     restore_stall_seconds: float = 0.0
+    #: Fused-kernel cache lookups (:class:`repro.planner.codegen.KernelCache`):
+    #: a hit reuses a previously compiled per-partition kernel, a miss
+    #: compiles the generated source.  Both zero unless fusion is on.
+    kernel_cache_hits: int = 0
+    kernel_cache_misses: int = 0
     #: Tasks re-executed after a :class:`~repro.engine.scheduler.TransientTaskError`
     #: (bounded by the runner's ``max_task_retries``).
     task_retries: int = 0
@@ -127,6 +132,8 @@ class JobMetrics:
         self.spill_restores += other.spill_restores
         self.prefetch_hits += other.prefetch_hits
         self.restore_stall_seconds += other.restore_stall_seconds
+        self.kernel_cache_hits += other.kernel_cache_hits
+        self.kernel_cache_misses += other.kernel_cache_misses
         self.task_retries += other.task_retries
         self.stage_costs.extend(other.stage_costs)
         self.adaptive_decisions.extend(other.adaptive_decisions)
@@ -435,6 +442,18 @@ class MetricsRegistry:
         with self._lock:
             self.current.task_retries += 1
 
+    # -- Fused-kernel cache counters ------------------------------------
+
+    def record_kernel_cache_hit(self) -> None:
+        """A fused chain reused an already-compiled kernel."""
+        with self._lock:
+            self.current.kernel_cache_hits += 1
+
+    def record_kernel_cache_miss(self) -> None:
+        """A fused chain's generated source was compiled fresh."""
+        with self._lock:
+            self.current.kernel_cache_misses += 1
+
     def simulated_time(self, cluster: ClusterSpec) -> float:
         """Simulated time of everything recorded so far on ``cluster``."""
         return self.total.simulated_time(cluster)
@@ -473,6 +492,8 @@ class MetricsRegistry:
         delta.spill_restores -= snapshot.spill_restores
         delta.prefetch_hits -= snapshot.prefetch_hits
         delta.restore_stall_seconds -= snapshot.restore_stall_seconds
+        delta.kernel_cache_hits -= snapshot.kernel_cache_hits
+        delta.kernel_cache_misses -= snapshot.kernel_cache_misses
         delta.task_retries -= snapshot.task_retries
         delta.stage_costs = delta.stage_costs[len(snapshot.stage_costs):]
         delta.adaptive_decisions = delta.adaptive_decisions[

@@ -160,10 +160,18 @@ class RDD:
         self,
         func: Callable[[Iterator], Iterator],
         preserves_partitioning: bool = False,
+        elementwise: bool = False,
     ) -> "RDD":
-        """Apply ``func`` to each whole partition iterator."""
+        """Apply ``func`` to each whole partition iterator.
+
+        Pass ``elementwise=True`` only when ``func`` maps each record
+        independently of its neighbours and the split index (e.g. a
+        fused per-record kernel); it licenses the skew splitter to
+        replay the function over partition slices.
+        """
         return MapPartitionsRDD(
-            self, lambda _idx, it: func(it), preserves_partitioning
+            self, lambda _idx, it: func(it), preserves_partitioning,
+            elementwise=elementwise,
         )
 
     def map_partitions_with_index(

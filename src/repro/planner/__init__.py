@@ -10,7 +10,9 @@ composes the two.  NumPy tile kernels live in :mod:`kernels`.
 """
 
 from .analysis import CompInfo, GenInfo, JoinCond, ReductionSlot, analyze
-from .codegen import explain
+from .codegen import (
+    FusedKernel, KERNEL_CACHE, KernelCache, explain, generate_fused_kernel,
+)
 from .cost import (
     CostEstimate, CostModel, STRATEGY_BROADCAST_LEFT, STRATEGY_BROADCAST_RIGHT,
     STRATEGY_COORDINATE, STRATEGY_REPLICATE, STRATEGY_TILED_REDUCE,
@@ -21,12 +23,14 @@ from .kernels import (
     KernelUnsupported, compile_vectorized, compile_vectorized_cached, contract,
     gather,
 )
-from .passes import PassManager, PlanState, cse_enabled, default_passes
+from .passes import (
+    PassManager, PlanState, cse_enabled, default_passes, fusion_enabled,
+)
 from .plan import (
     Plan, RULE_COORDINATE, RULE_GROUP_BY_JOIN, RULE_LOCAL, RULE_LOCAL_CODEGEN,
     RULE_PRESERVE_TILING, RULE_TILED_REDUCE, RULE_TILED_SHUFFLE,
 )
-from .planner import PlannerOptions, plan_query
+from .planner import PlannerOptions, plan_query, plan_state
 
 __all__ = [
     "CompInfo",
@@ -36,8 +40,11 @@ __all__ = [
     "PlanState",
     "CostEstimate",
     "CostModel",
+    "FusedKernel",
     "GenInfo",
     "JoinCond",
+    "KERNEL_CACHE",
+    "KernelCache",
     "KernelUnsupported",
     "Plan",
     "PlannerOptions",
@@ -58,10 +65,13 @@ __all__ = [
     "choose_strategy",
     "cse_enabled",
     "default_passes",
+    "fusion_enabled",
     "compile_vectorized",
     "compile_vectorized_cached",
     "contract",
     "explain",
     "gather",
+    "generate_fused_kernel",
     "plan_query",
+    "plan_state",
 ]

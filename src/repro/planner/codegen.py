@@ -1,18 +1,317 @@
-"""Human-readable code reports for compiled queries.
+"""Code generation: fused per-tile kernels and human-readable reports.
 
-The paper's system emits Scala source at compile time; the closest
-useful Python analogue is an inspectable report: the query, its
-desugared and normalized forms, the chosen translation rule, and the
-Spark-like pseudocode of the generated program.  ``explain`` produces
-that report; ``SacSession.explain`` exposes it to users.
+The paper's system emits Scala source at compile time; this module is
+the Python analogue, in two parts:
+
+* :func:`generate_fused_kernel` — turns one preserve-tiling chain
+  (MapTiles / Filter over scans) into the *source text* of a single
+  per-partition NumPy function.  The text reproduces, statement for
+  statement, what :func:`repro.planner.lower._lower_preserve` and
+  ``_result_storage`` do across five or six Python-level RDD hops —
+  coordinate projection, index grids, tile realignment, the vectorized
+  head value, guard masks, and boundary clipping — so a fused run is
+  bit-identical to the interpreted chain while paying one hop per tile.
+  Expressions render through
+  :func:`repro.planner.kernels.emit_vectorized_source`, which calls the
+  same ufuncs ``compile_vectorized`` dispatches to.
+
+* :func:`explain` — the inspectable compilation report ``SacSession``
+  exposes to users.
+
+Generated sources are fingerprinted (sha1 of the text) and compiled at
+most once per fingerprint through the bounded :class:`KernelCache`;
+lookups report hit/miss counters into the engine's
+:class:`~repro.engine.metrics.MetricsRegistry`.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
 
-from ..comprehension.ast import Expr, to_source
+import numpy as np
+
+from ..comprehension.ast import Expr, free_vars, to_source
+from .kernels import KernelUnsupported, _div, emit_vectorized_source
 from .plan import Plan
+
+
+# ----------------------------------------------------------------------
+# Fused per-partition kernel generation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FusedKernel:
+    """Source text of one fused chain, plus its cache identity.
+
+    ``mode`` records the record format the generated function consumes:
+    ``"tiles"`` iterates a generator's raw ``(coords, tile)`` records
+    (the whole single-generator chain collapsed to one hop), while
+    ``"joined"`` iterates ``(out_coords, (tile, ...))`` records after
+    the tile join (compute + clip fused, the join untouched).
+    """
+
+    source: str
+    fingerprint: str
+    mode: str
+
+
+class _Emitter:
+    """Tiny indented line buffer (the ``local_codegen`` idiom)."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.depth = 0
+
+    def emit(self, text: str = "") -> None:
+        self.lines.append("    " * self.depth + text if text else "")
+
+
+def generate_fused_kernel(
+    setup: Any,
+    out_classes: Sequence[int],
+    builder: str,
+    args: tuple,
+) -> FusedKernel:
+    """Emit the per-partition source for one preserve-tiling chain.
+
+    Raises :class:`KernelUnsupported` when any piece of the chain has no
+    source form — the caller (the ``fusion`` pass) then leaves the
+    interpreter chain in place for exactly that query.
+    """
+    info = setup.info
+    gens = setup.gens
+    n = setup.tile_size
+    if builder == "tiled":
+        declared = (int(args[0]), int(args[1]))
+    elif builder == "tiled_vector":
+        declared = (int(args[0]),)
+    else:
+        raise KernelUnsupported(f"builder {builder!r}")
+    if len(declared) != len(out_classes):
+        raise KernelUnsupported("output rank mismatch")
+
+    position = {cls: pos for pos, cls in enumerate(out_classes)}
+    identity = list(range(len(out_classes)))
+    axis_maps = [
+        [position[cls] for cls in gen.axis_classes] for gen in gens
+    ]
+
+    used = free_vars(info.head_value)
+    for guard in info.residual_guards:
+        used |= free_vars(guard)
+    used_index_vars = sorted(
+        var for var, cls in setup.classes.items()
+        if var in used and cls in position
+    )
+    needs_grids = bool(used_index_vars) or any(
+        axis_map != identity for axis_map in axis_maps
+    )
+
+    # Variable spellings inside the generated scope.  Constants are
+    # embedded as literals (repr round-trips exactly for the scalar
+    # types ``const_env`` holds), so the fingerprint distinguishes
+    # kernels closed over different constants; tile-local bindings
+    # shadow constants exactly as the interpreter's env merge does.
+    names: dict[str, str] = {
+        name: repr(value) for name, value in setup.const_env.items()
+    }
+    for slot, var in enumerate(used_index_vars):
+        names[var] = f"_ix{slot}"
+    value_names: dict[int, str] = {}
+    for k, gen in enumerate(gens):
+        if gen.value_var is not None and gen.value_var in used:
+            names[gen.value_var] = value_names[k] = f"_v{k}"
+
+    value_src = emit_vectorized_source(info.head_value, names)
+    mask_srcs = [
+        emit_vectorized_source(guard, names)
+        for guard in info.residual_guards
+    ]
+
+    mode = "tiles" if len(gens) == 1 else "joined"
+    out = _Emitter()
+    out.emit("def _fused_partition(_part):")
+    out.depth += 1
+    out.emit("_out = []")
+    out.emit("_append = _out.append")
+
+    if mode == "tiles":
+        gen = gens[0]
+        # Output coordinate = projection of the tile coordinate; a
+        # repeated class (e.g. an ``i == j`` diagonal) must agree on
+        # both axes or the tile contributes nothing.
+        first_axis: dict[int, int] = {}
+        conflicts: list[tuple[int, int]] = []
+        for axis, cls in enumerate(gen.axis_classes):
+            pos = position[cls]
+            if pos in first_axis:
+                conflicts.append((axis, first_axis[pos]))
+            else:
+                first_axis[pos] = axis
+        if set(first_axis) != set(identity):
+            raise KernelUnsupported("output dimension not bound by the scan")
+        out.emit("for _coords, _t0 in _part:")
+        out.depth += 1
+        for axis, first in conflicts:
+            out.emit(f"if _coords[{axis}] != _coords[{first}]:")
+            out.emit("    continue")
+        for pos in identity:
+            out.emit(f"_k{pos} = _coords[{first_axis[pos]}]")
+    else:
+        out.emit("for _oc, _tiles in _part:")
+        out.depth += 1
+        for pos in identity:
+            out.emit(f"_k{pos} = _oc[{pos}]")
+
+    # Tiles wholly outside the declared output are dropped either way;
+    # skipping their compute changes nothing observable.
+    drop = " or ".join(
+        f"_k{pos} * {n} >= {declared[pos]}" for pos in identity
+    )
+    out.emit(f"if {drop}:")
+    out.emit("    continue")
+
+    # The kernels evaluate at the traversed extent (input dimensions),
+    # exactly like ``_tile_shape``; trimming to the declared output
+    # happens after, like ``_result_storage``.
+    extents = ", ".join(
+        f"min({n}, {setup.class_dim[out_classes[pos]]} - _k{pos} * {n})"
+        for pos in identity
+    )
+    if len(identity) == 1:
+        extents += ","
+    out.emit(f"_shape = ({extents})")
+    if needs_grids:
+        out.emit("_g = np.indices(_shape)")
+    for slot, var in enumerate(used_index_vars):
+        pos = position[setup.classes[var]]
+        out.emit(f"_ix{slot} = _g[{pos}] + _k{pos} * {n}")
+    for k, gen in enumerate(gens):
+        name = value_names.get(k)
+        if name is None:
+            continue
+        tile = "_t0" if mode == "tiles" else f"_tiles[{k}]"
+        if axis_maps[k] == identity:
+            out.emit(f"{name} = {tile}")
+        else:
+            index = ", ".join(f"_g[{dim}]" for dim in axis_maps[k])
+            out.emit(f"{name} = {tile}[{index}]")
+
+    out.emit(f"_val = np.asarray({value_src}, dtype=np.float64)")
+    out.emit("if _val.shape != _shape:")
+    out.emit("    _val = np.broadcast_to(_val, _shape).copy()")
+    if mask_srcs:
+        out.emit("_keep = np.ones(_shape, dtype=bool)")
+        for mask_src in mask_srcs:
+            out.emit(f"_keep &= np.asarray({mask_src}, dtype=bool)")
+        out.emit("_val = np.where(_keep, _val, 0.0)")
+
+    trims = [
+        f"min(_val.shape[{pos}], {declared[pos]} - _k{pos} * {n})"
+        for pos in identity
+    ]
+    for pos, trim in enumerate(trims):
+        out.emit(f"_h{pos} = {trim}")
+    bounds = ", ".join(f"_h{pos}" for pos in identity)
+    if len(identity) == 1:
+        bounds += ","
+    out.emit(f"if ({bounds}) != _val.shape:")
+    slices = ", ".join(f":_h{pos}" for pos in identity)
+    out.emit(f"    _val = _val[{slices}]")
+    if builder == "tiled":
+        key = "(" + ", ".join(f"_k{pos}" for pos in identity) + ")"
+    else:
+        key = "_k0"  # TiledVector blocks are keyed by a bare int
+    out.emit(f"_append(({key}, _val))")
+    out.depth -= 1
+    out.emit("return _out")
+
+    source = "\n".join(out.lines) + "\n"
+    fingerprint = hashlib.sha1(source.encode()).hexdigest()[:16]
+    return FusedKernel(source=source, fingerprint=fingerprint, mode=mode)
+
+
+# ----------------------------------------------------------------------
+# Bounded kernel cache
+# ----------------------------------------------------------------------
+
+
+class KernelCache:
+    """Compile each fused source once per fingerprint, LRU-bounded.
+
+    Thread-safe; compilation happens outside the lock (a racing double
+    compile of the same fingerprint is harmless and keeps lookups from
+    serializing behind ``exec``).  Hit/miss lookups are mirrored into
+    the engine's metrics when a registry is passed, so ``--metrics``
+    and the benchmark harness can report kernel-cache behavior.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        self._maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, Callable]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(
+        self,
+        fingerprint: str,
+        source: str,
+        metrics: Optional[Any] = None,
+    ) -> Callable:
+        with self._lock:
+            fn = self._entries.get(fingerprint)
+            if fn is not None:
+                self._entries.move_to_end(fingerprint)
+                self.hits += 1
+                if metrics is not None:
+                    metrics.record_kernel_cache_hit()
+                return fn
+        namespace: dict[str, Any] = {"np": np, "_div": _div}
+        code = compile(source, f"<sac-fused:{fingerprint}>", "exec")
+        exec(code, namespace)
+        fn = namespace["_fused_partition"]
+        with self._lock:
+            self.misses += 1
+            self._entries[fingerprint] = fn
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        if metrics is not None:
+            metrics.record_kernel_cache_miss()
+        return fn
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+#: Process-wide cache: fused sources are pure functions of the plan, so
+#: sessions share compilations (fingerprints embed every constant).
+KERNEL_CACHE = KernelCache()
+
+
+def get_fused_kernel(
+    fingerprint: str, source: str, metrics: Optional[Any] = None
+) -> Callable:
+    """The per-partition callable for one fused chain, cached."""
+    return KERNEL_CACHE.get(fingerprint, source, metrics)
+
+
+# ----------------------------------------------------------------------
+# Compilation reports
+# ----------------------------------------------------------------------
 
 
 def explain(
@@ -24,7 +323,12 @@ def explain(
     sections = []
     if original is not None:
         sections.append("query:\n  " + to_source(original))
-    if normalized is not None and normalized != original:
+    # Compare *rendered* source, not AST equality: normalization
+    # alpha-renames, so a tree can differ by ``==`` while printing the
+    # very same text — repeating it would be noise.
+    if normalized is not None and (
+        original is None or to_source(normalized) != to_source(original)
+    ):
         sections.append("normalized:\n  " + to_source(normalized))
     sections.append(plan.explain())
     return "\n".join(sections)

@@ -36,6 +36,7 @@ from typing import Any, Iterator, Optional
 #: set; ``level`` tells them apart.
 OP_SCAN = "Scan"
 OP_MAP_TILES = "MapTiles"
+OP_FUSED_KERNEL = "FusedKernel"
 OP_FILTER = "Filter"
 OP_GROUP_BY = "GroupBy"
 OP_GROUP_BY_JOIN = "GroupByJoin"
@@ -191,6 +192,7 @@ _EXPORTED_ATTRS = {
     "rule", "strategy", "storage", "dims", "classes", "partitioner",
     "stats", "tile_size", "monoid", "builder", "cse", "cse_merged",
     "adaptive_install", "record_estimate", "reusable", "sparse",
+    "fingerprint", "fused_ops",
 }
 
 

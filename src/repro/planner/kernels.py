@@ -126,6 +126,92 @@ def compile_vectorized(expr: Expr) -> Kernel:
     raise KernelUnsupported(f"expression {type(expr).__name__}")
 
 
+#: Source spellings of the vectorized operator tables above.  The fused
+#: per-partition codegen (:mod:`repro.planner.codegen`) renders the same
+#: ufunc calls :func:`compile_vectorized` would make, so the generated
+#: text evaluates bit-identically to the interpreter's closure kernels.
+_NP_BINOP_SOURCE: dict[str, str] = {
+    "+": "np.add",
+    "-": "np.subtract",
+    "*": "np.multiply",
+    "%": "np.mod",
+    "==": "np.equal",
+    "!=": "np.not_equal",
+    "<": "np.less",
+    "<=": "np.less_equal",
+    ">": "np.greater",
+    ">=": "np.greater_equal",
+    "&&": "np.logical_and",
+    "||": "np.logical_or",
+}
+
+_NP_CALL_SOURCE: dict[str, str] = {
+    "abs": "np.abs",
+    "exp": "np.exp",
+    "log": "np.log",
+    "sqrt": "np.sqrt",
+    "floor": "np.floor",
+    "ceil": "np.ceil",
+    "pow": "np.power",
+    "min": "np.minimum",
+    "max": "np.maximum",
+}
+
+
+def emit_vectorized_source(expr: Expr, names: dict[str, str]) -> str:
+    """Render ``expr`` as NumPy source text over pre-bound ``names``.
+
+    ``names`` maps each DSL variable to the Python expression that holds
+    its value in the generated scope (a local identifier, or a literal
+    for closed-over constants).  The rendering calls exactly the ufuncs
+    :func:`compile_vectorized` dispatches to (including ``_div`` for the
+    DSL's integral division), so evaluating the text reproduces the
+    interpreter kernel bit for bit.  Raises :class:`KernelUnsupported`
+    in precisely the cases :func:`compile_vectorized` would, plus for
+    variables absent from ``names``.
+    """
+    if isinstance(expr, Lit):
+        return repr(expr.value)
+    if isinstance(expr, Var):
+        try:
+            return names[expr.name]
+        except KeyError:
+            raise KernelUnsupported(f"unbound variable {expr.name!r}") from None
+    if isinstance(expr, TupleExpr):
+        parts = [emit_vectorized_source(item, names) for item in expr.items]
+        if len(parts) == 1:
+            return f"({parts[0]},)"
+        return "(" + ", ".join(parts) + ")"
+    if isinstance(expr, BinOp):
+        left = emit_vectorized_source(expr.left, names)
+        right = emit_vectorized_source(expr.right, names)
+        if expr.op == "/":
+            return f"_div({left}, {right})"
+        try:
+            op = _NP_BINOP_SOURCE[expr.op]
+        except KeyError:
+            raise KernelUnsupported(f"operator {expr.op!r}") from None
+        return f"{op}({left}, {right})"
+    if isinstance(expr, UnOp):
+        operand = emit_vectorized_source(expr.operand, names)
+        if expr.op == "-":
+            return f"np.negative({operand})"
+        return f"np.logical_not({operand})"
+    if isinstance(expr, IfExpr):
+        cond = emit_vectorized_source(expr.cond, names)
+        then = emit_vectorized_source(expr.then, names)
+        orelse = emit_vectorized_source(expr.orelse, names)
+        return f"np.where({cond}, {then}, {orelse})"
+    if isinstance(expr, Call):
+        try:
+            fn = _NP_CALL_SOURCE[expr.func]
+        except KeyError:
+            raise KernelUnsupported(f"function {expr.func!r}") from None
+        args = ", ".join(emit_vectorized_source(arg, names) for arg in expr.args)
+        return f"{fn}({args})"
+    raise KernelUnsupported(f"expression {type(expr).__name__}")
+
+
 #: Attribute memoizing compiled kernels on the (frozen, immutable) AST
 #: node: iterative workloads re-plan the same normalized tree every
 #: step, and a kernel depends only on the expression.

@@ -34,10 +34,11 @@ from ..engine import EngineContext, GridPartitioner, RDD
 from ..storage.registry import REGISTRY, BuildContext
 from ..storage.tiled import TiledMatrix, TiledVector
 from .analysis import CompInfo
+from .codegen import get_fused_kernel
 from .groupby_join import GbjMatch, _match_stats, reconsider_join_strategy
 from .ir import IRNode, _digest
 from .kernels import combine_tiles, contract, gather
-from .passes import PlanState, cse_enabled
+from .passes import PlanState, cse_enabled, fusion_enabled
 from .plan import (
     Plan, RULE_COORDINATE, RULE_GROUP_BY_JOIN, RULE_LOCAL,
     RULE_PRESERVE_TILING, RULE_TILED_REDUCE, RULE_TILED_SHUFFLE,
@@ -86,7 +87,8 @@ def _plan_fingerprint(root: IRNode, state: PlanState) -> str:
         state.wrapper,
         state.reduce_monoid,
         (options.group_by_join, options.force_coordinate,
-         options.allow_tiled, options.broadcast_threshold),
+         options.allow_tiled, options.broadcast_threshold,
+         fusion_enabled(options)),
         bool(manager is not None and manager.enabled),
     ))
 
@@ -130,13 +132,18 @@ def _apply_wrapper(plan: Plan, state: PlanState) -> Plan:
 
 
 def _base_plan(root: IRNode, thunk: Callable[[], Any]) -> Plan:
-    """A plan carrying the emitter's annotations off the root node."""
+    """A plan carrying the emitter's annotations off the root node.
+
+    ``details`` is copied: the adaptive thunk writes into it at execute
+    time, and one root may be lowered into many plans when the session
+    reuses a pass-pipeline result.
+    """
     return Plan(
         rule=root.attrs["rule"],
         description=root.attrs["description"],
         thunk=thunk,
         pseudocode=root.attrs.get("pseudocode", ""),
-        details=root.attrs.get("details", {}),
+        details=dict(root.attrs.get("details") or {}),
     )
 
 
@@ -147,6 +154,11 @@ def _base_plan(root: IRNode, thunk: Callable[[], Any]) -> Plan:
 
 def _lower_preserve(root: IRNode, state: PlanState) -> Plan:
     """Join tiles on the output coordinate, compute locally per tile."""
+    fused = root.attrs.get("fused_kernel")
+    if fused is not None:
+        plan = _lower_preserve_fused(root, state, fused)
+        if plan is not None:
+            return plan
     p = root.attrs["payload"]
     setup: TiledSetup = p["setup"]
     builder, args = p["builder"], p["args"]
@@ -211,6 +223,59 @@ def _lower_preserve(root: IRNode, state: PlanState) -> Plan:
         root,
         lambda: _result_storage(setup, builder, args, tiles_rdd, stats=out_stats),
     )
+
+
+def _lower_preserve_fused(
+    root: IRNode, state: PlanState, fused: dict[str, Any]
+) -> Optional[Plan]:
+    """One generated NumPy kernel per partition instead of N Python hops.
+
+    The ``fusion`` pass already proved the chain has a source form and
+    stashed the generated text; here it is compiled (once per
+    fingerprint, through the bounded kernel cache) and lowered to a
+    single elementwise ``map_partitions``.  In ``"tiles"`` mode the
+    kernel consumes the generator's raw tile records — the whole
+    projection / compute / clip chain is one hop; in ``"joined"`` mode
+    the tile join is kept and only compute + clip fuse.  Returns
+    ``None`` on any compile-time surprise so the caller falls back to
+    the interpreter chain, which is always correct.
+    """
+    p = root.attrs["payload"]
+    setup: TiledSetup = p["setup"]
+    builder, args = p["builder"], p["args"]
+    out_classes, out_stats = p["out_classes"], p["out_stats"]
+    metrics = state.engine.metrics if state.engine is not None else None
+    try:
+        kernel = get_fused_kernel(fused["fingerprint"], fused["source"], metrics)
+    except Exception:
+        return None
+    if fused["mode"] == "tiles":
+        source_rdd = setup.gens[0].tile_records()
+    else:
+        position = {cls: pos for pos, cls in enumerate(out_classes)}
+        keyed = [
+            _keyed_by_out_coord(setup, gen, out_classes, position)
+            for gen in setup.gens
+        ]
+        source_rdd = keyed[0].map_values(lambda tile: (tile,))
+        for other in keyed[1:]:
+            source_rdd = source_rdd.join(other).map_values(
+                lambda pair: pair[0] + (pair[1],)
+            )
+    tiles_rdd = source_rdd.map_partitions(kernel, elementwise=True)
+    n = setup.tile_size
+
+    def build():
+        # Clipping already ran inside the kernel; build storage directly.
+        if builder == "tiled":
+            result = TiledMatrix(int(args[0]), int(args[1]), n, tiles_rdd)
+        else:
+            result = TiledVector(int(args[0]), n, tiles_rdd)
+        if out_stats is not None:
+            result.stats = out_stats
+        return result
+
+    return _base_plan(root, build)
 
 
 def _keyed_by_out_coord(

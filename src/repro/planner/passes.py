@@ -19,7 +19,15 @@ decided, and built in a single motion.  It is now a
 5. **cse** — common-subplan elimination: merge identity-equal subtrees
    and mark the plan's shuffle outputs for
    :class:`~repro.engine.block_manager.BlockManager` reuse (off by
-   default; ``PlannerOptions(cse=True)`` or ``REPRO_CSE=1``).
+   default; ``PlannerOptions(cse=True)`` or ``REPRO_CSE=1``);
+6. **fusion** — collapse a preserve-tiling MapTiles/Filter chain into a
+   single :data:`~repro.planner.ir.OP_FUSED_KERNEL` node carrying the
+   fingerprinted per-partition source
+   :func:`~repro.planner.codegen.generate_fused_kernel` emitted, so the
+   lowering runs one generated NumPy hop per tile instead of N
+   Python-level RDD hops (off by default; ``PlannerOptions(fusion=True)``
+   or ``REPRO_FUSION=1``; chains with no source form keep the
+   interpreter lowering).
 
 Every pass records a :class:`~repro.planner.ir.PassTraceEntry` with the
 physical DAG rendered before and after, so ``Plan.explain()`` can show
@@ -48,11 +56,14 @@ from .cost import (
     STRATEGY_BROADCAST_LEFT, STRATEGY_BROADCAST_RIGHT, STRATEGY_REPLICATE,
     STRATEGY_TILED_REDUCE, CostEstimate, CostModel, choose_strategy,
 )
+from .codegen import generate_fused_kernel
 from .groupby_join import emit_broadcast, emit_replicate, match_group_by_join
 from .ir import (
-    IRNode, LOGICAL, OP_COLLECT, OP_FILTER, OP_GROUP_BY, OP_MAP_TILES,
-    OP_REDUCE, PassTraceEntry, dedupe_dag, scan_storage_node,
+    IRNode, LOGICAL, OP_COLLECT, OP_FILTER, OP_FUSED_KERNEL, OP_GROUP_BY,
+    OP_MAP_TILES, OP_REDUCE, PassTraceEntry, dedupe_dag, scan_storage_node,
 )
+from .kernels import KernelUnsupported
+from .plan import RULE_PRESERVE_TILING
 from .rdd_rules import emit_coordinate
 from .tiling import (
     emit_preserve, emit_shuffle, emit_tiled_reduce, resolve_tiled,
@@ -77,6 +88,21 @@ def cse_enabled(options: "PlannerOptions") -> bool:
     if options.cse is not None:
         return options.cse
     return os.environ.get("REPRO_CSE", "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
+
+
+def fusion_enabled(options: "PlannerOptions") -> bool:
+    """Is fused per-tile kernel codegen on for this compile?
+
+    ``PlannerOptions.fusion`` wins when set; otherwise the
+    ``REPRO_FUSION`` environment variable decides, and the default is
+    **off** so lowered programs stay byte-identical to the interpreter
+    chains.
+    """
+    if options.fusion is not None:
+        return options.fusion
+    return os.environ.get("REPRO_FUSION", "").strip().lower() in (
         "1", "true", "yes", "on",
     )
 
@@ -141,6 +167,7 @@ def default_passes() -> list[tuple[str, PassFn]]:
         ("strategy-selection", pass_strategy_selection),
         ("adaptive-install", pass_adaptive_install),
         ("cse", pass_cse),
+        ("fusion", pass_fusion),
     ]
 
 
@@ -521,6 +548,86 @@ def pass_cse(state: PlanState) -> str:
     return (
         f"{merged} duplicate subplan(s) merged; "
         "shuffle outputs marked for cross-query reuse"
+    )
+
+
+# ----------------------------------------------------------------------
+# Pass 6 — fused per-tile kernel codegen
+# ----------------------------------------------------------------------
+
+
+def pass_fusion(state: PlanState) -> str:
+    """Collapse a preserve-tiling chain into one generated kernel node.
+
+    Only rewrites plans the lowering executes as a MapTiles/Filter chain
+    of elementwise Python hops (rule ``preserve-tiling``); every other
+    rule keeps its shape.  When the chain has no source form
+    (:class:`KernelUnsupported`), the interpreter chain stays in place
+    for exactly this query — a per-chain fallback, not a global switch.
+    """
+    root = state.physical
+    if root is None:
+        return "skipped (local plan)"
+    if not fusion_enabled(state.options):
+        return (
+            "disabled (enable with PlannerOptions(fusion=True) or "
+            "REPRO_FUSION=1)"
+        )
+    if root.attrs.get("rule") != RULE_PRESERVE_TILING:
+        return (
+            f"no fusible MapTiles/Filter chain "
+            f"(rule {root.attrs.get('rule', '?')})"
+        )
+    payload = root.attrs["payload"]
+    try:
+        fused = generate_fused_kernel(
+            payload["setup"], payload["out_classes"],
+            payload["builder"], payload["args"],
+        )
+    except KernelUnsupported as exc:
+        return f"kernel codegen unsupported ({exc}); interpreter chain kept"
+
+    # Splice the FusedKernel node over the MapTiles (and Filter) chain;
+    # the scans stay as its children so storage identities — and with
+    # them CSE/reuse fingerprints — are preserved.
+    mapped = root.children[0]
+    chain = [mapped]
+    inner = mapped.children
+    if len(inner) == 1 and inner[0].op == OP_FILTER:
+        chain.append(inner[0])
+        inner = inner[0].children
+    chain_ids = [
+        f"{node.op}[{node.label}]" if node.label else node.op
+        for node in chain
+    ]
+    node = IRNode(
+        op=OP_FUSED_KERNEL,
+        children=inner,
+        sig=(
+            ("fingerprint", fused.fingerprint),
+            ("mode", fused.mode),
+            ("fused", tuple(chain_ids)),
+        ),
+        attrs={
+            "fingerprint": fused.fingerprint,
+            "fused_ops": list(chain_ids),
+            "source": fused.source,
+        },
+        label="fused kernel",
+    )
+    root.children = (node,)
+    root._render_memo = None
+    root.attrs["fused_kernel"] = {
+        "nodes": list(chain_ids),
+        "fingerprint": fused.fingerprint,
+        "mode": fused.mode,
+        "source": fused.source,
+    }
+    root.attrs.setdefault("details", {})["fused_kernel"] = fused.fingerprint
+    state.physical = root
+    return (
+        f"fused {len(chain)} tile operator(s) into kernel "
+        f"{fused.fingerprint} (mode {fused.mode})"
     )
 
 

@@ -59,6 +59,21 @@ class Plan:
         """Run the plan and return the built storage/value."""
         return self.thunk()
 
+    def fused_kernels(self) -> list[dict[str, Any]]:
+        """Fused-chain records off the physical DAG (possibly empty).
+
+        Each entry carries the collapsed chain's node ids, the source
+        fingerprint, the record ``mode``, and the generated kernel text
+        exactly as the ``fusion`` pass stashed them.
+        """
+        if self.physical is None:
+            return []
+        return [
+            node.attrs["fused_kernel"]
+            for node in self.physical.walk()
+            if "fused_kernel" in node.attrs
+        ]
+
     def explain(self) -> str:
         """Multi-line explanation: rule, description, generated program."""
         lines = [f"rule: {self.rule}", f"description: {self.description}"]
@@ -83,6 +98,12 @@ class Plan:
             lines.append("passes:")
             for entry in self.trace:
                 lines.append(f"  - {entry.summary()}")
+        for fused in self.fused_kernels():
+            lines.append(
+                f"fused kernel {fused['fingerprint']} "
+                f"(mode {fused['mode']}; {' + '.join(fused['nodes'])}):"
+            )
+            lines.extend("  " + line for line in fused["source"].splitlines())
         if self.pseudocode:
             lines.append("generated program:")
             lines.extend("  " + line for line in self.pseudocode.splitlines())
@@ -120,6 +141,17 @@ class Plan:
             ]
         if self.trace:
             out["passes"] = [entry.to_dict() for entry in self.trace]
+        fused = self.fused_kernels()
+        if fused:
+            out["fused_kernels"] = [
+                {
+                    "nodes": list(entry["nodes"]),
+                    "fingerprint": entry["fingerprint"],
+                    "mode": entry["mode"],
+                    "source": entry["source"],
+                }
+                for entry in fused
+            ]
         if self.logical is not None:
             out["logical"] = self.logical.to_dict()
         if self.physical is not None:

@@ -35,7 +35,9 @@ from ..comprehension.ast import Expr
 from ..engine import EngineContext
 from ..storage.registry import BuildContext
 from .lower import lower
-from .passes import PassManager, PlanState, cse_enabled, default_passes
+from .passes import (
+    PassManager, PlanState, cse_enabled, default_passes, fusion_enabled,
+)
 from .plan import Plan
 
 
@@ -62,6 +64,13 @@ class PlannerOptions:
     plan gets a reuse fingerprint the session cache can key on, and the
     plan's shuffle outputs are marked for
     :class:`~repro.engine.block_manager.BlockManager` reuse.
+
+    ``fusion``: fused per-tile kernel codegen.  ``None`` (default)
+    defers to the ``REPRO_FUSION`` environment variable (off unless
+    set); ``True`` / ``False`` pin it.  When on, preserve-tiling
+    MapTiles/Filter chains lower to one generated NumPy kernel per
+    partition instead of N Python-level RDD hops; chains without a
+    source form keep the interpreter lowering.
     """
 
     group_by_join: Optional[bool] = None
@@ -69,6 +78,7 @@ class PlannerOptions:
     allow_tiled: bool = True
     broadcast_threshold: Optional[int] = None
     cse: Optional[bool] = None
+    fusion: Optional[bool] = None
 
     def cache_signature(self) -> tuple:
         """Hashable identity for plan caching (every field that can
@@ -79,7 +89,37 @@ class PlannerOptions:
             self.allow_tiled,
             self.broadcast_threshold,
             cse_enabled(self),
+            fusion_enabled(self),
         )
+
+
+def plan_state(
+    expr: Expr,
+    env: dict[str, Any],
+    engine: Optional[EngineContext],
+    build_context: BuildContext,
+    options: Optional[PlannerOptions] = None,
+) -> PlanState:
+    """Run the pass pipeline for a normalized query, stopping short of
+    lowering.
+
+    The returned state is read-only from here on: :func:`lower` may be
+    applied to it any number of times, each call constructing a fresh
+    :class:`~repro.planner.plan.Plan` (and fresh RDD lineages).  That
+    split is what lets the session reuse a pass-pipeline result across
+    the identical recompiles of an iterative workload while keeping
+    execution byte-identical to an uncached compile.
+    """
+    options = options or PlannerOptions()
+    state = PlanState(
+        expr=expr,
+        env=env,
+        engine=engine,
+        build_context=build_context,
+        options=options,
+    )
+    PassManager(default_passes()).run(state)
+    return state
 
 
 def plan_query(
@@ -90,13 +130,4 @@ def plan_query(
     options: Optional[PlannerOptions] = None,
 ) -> Plan:
     """Produce an executable plan for a desugared, normalized query."""
-    options = options or PlannerOptions()
-    state = PlanState(
-        expr=expr,
-        env=env,
-        engine=engine,
-        build_context=build_context,
-        options=options,
-    )
-    PassManager(default_passes()).run(state)
-    return lower(state)
+    return lower(plan_state(expr, env, engine, build_context, options))

@@ -1,0 +1,353 @@
+"""Fused kernel codegen: differential fuzz and fallback parity.
+
+The fusion pass replaces the preserve-tiling MapTiles/Filter interpreter
+chain with one generated NumPy kernel per partition.  The contract is
+*byte identity*: for every fusible chain, the fused run must produce
+exactly the same array as the interpreter chain (``np.array_equal``, not
+allclose — the kernel re-emits the same ufunc calls in the same order).
+These tests fuzz that contract over random chains, pin it across the
+serial/threaded × staged/pipelined runner matrix, and cover the
+KernelUnsupported fallback, the kernel cache counters, the explain()
+surfacing, and the vectorized ``partition_batch`` fast path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import SacSession
+from repro.engine import TINY_CLUSTER
+from repro.engine.partitioner import GridPartitioner, HashPartitioner
+from repro.planner import PlannerOptions
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+dims = st.integers(min_value=1, max_value=23)
+tile_sizes = st.integers(min_value=1, max_value=9)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def make_session(tile_size, fusion, runner=None, pipeline=None):
+    return SacSession(
+        cluster=TINY_CLUSTER, tile_size=tile_size,
+        options=PlannerOptions(fusion=fusion),
+        runner=runner, pipeline=pipeline,
+    )
+
+
+def random_matrix(rows, cols, seed):
+    return np.random.default_rng(seed).uniform(-5, 5, size=(rows, cols))
+
+
+def _run_both(query, env_of, tile, runner=None, pipeline=None):
+    """Run ``query`` fused and interpreted; return both ndarrays."""
+    results = []
+    for fusion in (True, False):
+        session = make_session(tile, fusion, runner=runner, pipeline=pipeline)
+        results.append(session.run(query, env_of(session)).to_numpy())
+    return results
+
+
+def _assert_fused(session, query, env):
+    """The compile must actually take the fused path (guards the fuzz
+    against silently degrading into interpreter-vs-interpreter)."""
+    plan = session.compile(query, env).plan
+    notes = [e.summary() for e in plan.trace if e.name == "fusion"]
+    assert notes and notes[0].startswith("fusion: fused"), notes
+
+
+# ----------------------------------------------------------------------
+# Differential fuzz: random chains, fused vs interpreted, byte-identical
+# ----------------------------------------------------------------------
+
+SINGLE_HEADS = [
+    "2.0*v", "v+1.0", "v*v", "v-0.5", "0.5*v+2.0*v*v", "v/4.0", "0.0-v",
+]
+DOUBLE_HEADS = ["a+b", "a*b", "2.0*a-b", "a-b+1.0"]
+# i == j would be a join *equality* (it unifies the index classes and
+# changes the plan shape), so only order/inequality guards appear here.
+GUARDS = ["", ", i != j", ", i < j", ", i > j"]
+
+
+@SETTINGS
+@given(
+    n=dims, m=dims, tile=tile_sizes, seed=seeds,
+    head=st.sampled_from(SINGLE_HEADS),
+    guard=st.sampled_from(GUARDS),
+    transpose=st.booleans(),
+)
+def test_single_generator_chain_byte_identical(
+    n, m, tile, seed, head, guard, transpose
+):
+    data = random_matrix(n, m, seed)
+    if transpose:
+        query = f"tiled(m,n)[ ((j,i),{head}) | ((i,j),v) <- M{guard} ]"
+    else:
+        query = f"tiled(n,m)[ ((i,j),{head}) | ((i,j),v) <- M{guard} ]"
+
+    def env_of(session):
+        return dict(M=session.tiled(data), n=n, m=m)
+
+    fused, interpreted = _run_both(query, env_of, tile)
+    assert np.array_equal(fused, interpreted)
+    session = make_session(tile, fusion=True)
+    _assert_fused(session, query, env_of(session))
+
+
+@SETTINGS
+@given(
+    n=dims, m=dims, tile=tile_sizes, seed=seeds,
+    head=st.sampled_from(DOUBLE_HEADS),
+    guard=st.sampled_from(GUARDS),
+)
+def test_two_generator_chain_byte_identical(n, m, tile, seed, head, guard):
+    left = random_matrix(n, m, seed)
+    right = random_matrix(n, m, seed + 1)
+    query = (
+        f"tiled(n,m)[ ((i,j),{head}) | ((i,j),a) <- A, ((ii,jj),b) <- B,"
+        f" ii == i, jj == j{guard} ]"
+    )
+
+    def env_of(session):
+        return dict(A=session.tiled(left), B=session.tiled(right), n=n, m=m)
+
+    fused, interpreted = _run_both(query, env_of, tile)
+    assert np.array_equal(fused, interpreted)
+    session = make_session(tile, fusion=True)
+    _assert_fused(session, query, env_of(session))
+
+
+@SETTINGS
+@given(n=dims, tile=tile_sizes, seed=seeds, head=st.sampled_from(
+    ["2.0*x+1.0", "x*x", "x/3.0"]
+))
+def test_vector_chain_byte_identical(n, tile, seed, head):
+    data = np.random.default_rng(seed).uniform(-5, 5, size=n)
+    query = f"tiled_vector(n)[ (i,{head}) | (i,x) <- V ]"
+
+    def env_of(session):
+        return dict(V=session.tiled_vector(data), n=n)
+
+    fused, interpreted = _run_both(query, env_of, tile)
+    assert np.array_equal(fused, interpreted)
+
+
+# ----------------------------------------------------------------------
+# Runner matrix: serial/threaded × staged/pipelined
+# ----------------------------------------------------------------------
+
+RUNNER_MATRIX = [
+    ("serial-staged", None, None),
+    ("threads-staged", "threads", None),
+    ("threads-pipelined", "pipelined", True),
+]
+
+MATRIX_QUERIES = [
+    "tiled(n,m)[ ((i,j),2.0*v+1.0) | ((i,j),v) <- M, i != j ]",
+    "tiled(m,n)[ ((j,i),v*v) | ((i,j),v) <- M ]",
+    (
+        "tiled(n,m)[ ((i,j),a-2.0*b) | ((i,j),a) <- M, ((ii,jj),b) <- N2,"
+        " ii == i, jj == j ]"
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "label,runner,pipeline", RUNNER_MATRIX, ids=[r[0] for r in RUNNER_MATRIX]
+)
+@pytest.mark.parametrize("query", MATRIX_QUERIES)
+def test_runner_matrix_byte_identical(label, runner, pipeline, query):
+    n, m, tile = 23, 17, 6
+    left = random_matrix(n, m, 11)
+    right = random_matrix(n, m, 12)
+
+    def env_of(session):
+        return dict(
+            M=session.tiled(left), N2=session.tiled(right), n=n, m=m
+        )
+
+    fused, interpreted = _run_both(
+        query, env_of, tile, runner=runner, pipeline=pipeline
+    )
+    assert np.array_equal(fused, interpreted)
+
+
+# ----------------------------------------------------------------------
+# KernelUnsupported fallback: interpreter chain kept, results unchanged
+# ----------------------------------------------------------------------
+
+
+def test_kernel_unsupported_falls_back_to_interpreter(monkeypatch):
+    from repro.planner import passes
+    from repro.planner.kernels import KernelUnsupported
+
+    def refuse(*_args, **_kwargs):
+        raise KernelUnsupported("forced by test")
+
+    query = "tiled(n,m)[ ((i,j),2.0*v) | ((i,j),v) <- M ]"
+    data = random_matrix(13, 9, 3)
+
+    baseline_session = make_session(5, fusion=False)
+    baseline = baseline_session.run(
+        query, M=baseline_session.tiled(data), n=13, m=9
+    ).to_numpy()
+
+    monkeypatch.setattr(passes, "generate_fused_kernel", refuse)
+    session = make_session(5, fusion=True)
+    env = dict(M=session.tiled(data), n=13, m=9)
+    plan = session.compile(query, env).plan
+    notes = [e.summary() for e in plan.trace if e.name == "fusion"]
+    assert notes == [
+        "fusion: kernel codegen unsupported (forced by test);"
+        " interpreter chain kept"
+    ]
+    assert np.array_equal(session.run(query, env).to_numpy(), baseline)
+
+
+# ----------------------------------------------------------------------
+# Kernel cache: compile-time hit/miss counters in JobMetrics
+# ----------------------------------------------------------------------
+
+
+def test_kernel_cache_counters():
+    # A constant no other test uses keeps the process-wide cache cold
+    # for the first session and warm for the second.
+    query = "tiled(n,m)[ ((i,j),7.5309*v) | ((i,j),v) <- M ]"
+    data = random_matrix(13, 11, 5)
+
+    first = make_session(5, fusion=True)
+    first.run(query, M=first.tiled(data), n=13, m=11)
+    cold = first.engine.metrics.total
+    assert cold.kernel_cache_misses == 1
+    assert cold.kernel_cache_hits == 0
+
+    second = make_session(5, fusion=True)
+    second.run(query, M=second.tiled(data), n=13, m=11)
+    warm = second.engine.metrics.total
+    assert warm.kernel_cache_misses == 0
+    assert warm.kernel_cache_hits >= 1
+
+
+def test_kernel_cache_lru_eviction():
+    from repro.planner.codegen import KernelCache
+
+    cache = KernelCache(maxsize=2)
+    src = "def _fused_partition(_part):\n    return _part\n"
+    for fp in ("a", "b", "c"):
+        cache.get(fp, src)
+    stats = cache.stats()
+    assert stats["misses"] == 3
+    assert stats["evictions"] == 1
+    cache.get("c", src)
+    assert cache.stats()["hits"] == 1
+
+
+# ----------------------------------------------------------------------
+# Surfacing: explain(), to_dict(), and the --no-fusion CLI flag
+# ----------------------------------------------------------------------
+
+
+def test_explain_and_to_dict_surface_fused_source():
+    session = make_session(5, fusion=True)
+    query = "tiled(n,m)[ ((i,j),v*v) | ((i,j),v) <- M, i != j ]"
+    env = dict(M=session.tiled(random_matrix(13, 9, 4)), n=13, m=9)
+
+    report = session.explain(query, env)
+    assert "fused kernel" in report
+    assert "_fused_partition" in report
+
+    out = session.compile(query, env).plan.to_dict()
+    assert "fused_kernels" in out
+    (entry,) = out["fused_kernels"]
+    assert entry["mode"] == "tiles"
+    assert entry["nodes"]
+    assert len(entry["fingerprint"]) == 16
+    assert "def _fused_partition(_part):" in entry["source"]
+
+
+def test_to_dict_has_no_fused_section_when_off():
+    session = make_session(5, fusion=False)
+    query = "tiled(n,m)[ ((i,j),v*v) | ((i,j),v) <- M ]"
+    env = dict(M=session.tiled(random_matrix(13, 9, 4)), n=13, m=9)
+    out = session.compile(query, env).plan.to_dict()
+    assert "fused_kernels" not in out
+
+
+def test_cli_no_fusion_flag_parses():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["q", "--no-fusion"])
+    assert args.no_fusion is True
+    args = build_parser().parse_args(["q"])
+    assert args.no_fusion is False
+
+
+# ----------------------------------------------------------------------
+# Vectorized partitioning: partition_batch must equal partition()
+# ----------------------------------------------------------------------
+
+coords = st.integers(min_value=0, max_value=2**60)
+
+
+@SETTINGS
+@given(
+    keys=st.lists(
+        st.tuples(coords, coords), min_size=1, max_size=200
+    ),
+    parts=st.integers(min_value=1, max_value=17),
+)
+def test_hash_partition_batch_matches_scalar_tuples(keys, parts):
+    partitioner = HashPartitioner(parts)
+    batch = partitioner.partition_batch(keys)
+    assert batch is not None
+    assert list(batch) == [partitioner.partition(k) for k in keys]
+
+
+@SETTINGS
+@given(
+    keys=st.lists(coords, min_size=1, max_size=200),
+    parts=st.integers(min_value=1, max_value=17),
+)
+def test_hash_partition_batch_matches_scalar_ints(keys, parts):
+    partitioner = HashPartitioner(parts)
+    batch = partitioner.partition_batch(keys)
+    assert batch is not None
+    assert list(batch) == [partitioner.partition(k) for k in keys]
+
+
+@SETTINGS
+@given(
+    rows=st.integers(min_value=1, max_value=12),
+    cols=st.integers(min_value=1, max_value=12),
+    parts=st.integers(min_value=1, max_value=9),
+    keys=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=20),
+            st.integers(min_value=0, max_value=20),
+        ),
+        min_size=1, max_size=100,
+    ),
+)
+def test_grid_partition_batch_matches_scalar(rows, cols, parts, keys):
+    partitioner = GridPartitioner(rows, cols, parts)
+    batch = partitioner.partition_batch(keys)
+    assert batch is not None
+    assert list(batch) == [partitioner.partition(k) for k in keys]
+
+
+@pytest.mark.parametrize("keys", [
+    [(0.5, 1)],                 # float component
+    ["row"],                    # non-numeric
+    [(1, 2), (3,)],             # ragged tuples
+    [(-1, 2)],                  # negative breaks hash(v) == v identity
+    [(2**61 - 1, 0)],           # at/above the CPython identity cap
+    [],                         # empty batch
+])
+def test_partition_batch_rejects_unsafe_keys(keys):
+    partitioner = HashPartitioner(4)
+    assert partitioner.partition_batch(keys) is None

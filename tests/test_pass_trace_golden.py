@@ -39,8 +39,13 @@ def trace_of(session, query, env):
 
 PASS_NAMES = [
     "normalize-bridge", "tiling-resolution", "strategy-selection",
-    "adaptive-install", "cse",
+    "adaptive-install", "cse", "fusion",
 ]
+
+FUSION_OFF = (
+    "fusion: disabled (enable with PlannerOptions(fusion=True) or"
+    " REPRO_FUSION=1)"
+)
 
 
 def test_add_trace(session):
@@ -59,6 +64,7 @@ def test_add_trace(session):
         "strategy-selection: rule preserve-tiling [rewrote plan]",
         "adaptive-install: not a cost-chosen group-by-join candidate",
         "cse: disabled (enable with PlannerOptions(cse=True) or REPRO_CSE=1)",
+        FUSION_OFF,
     ]
     assert final == (
         "Assemble[tiled](MapTiles[per-tile kernel]"
@@ -83,6 +89,7 @@ def test_multiply_trace(session):
         " gbj-broadcast-left) [rewrote plan]",
         "adaptive-install: not a cost-chosen group-by-join candidate",
         "cse: disabled (enable with PlannerOptions(cse=True) or REPRO_CSE=1)",
+        FUSION_OFF,
     ]
     assert final == (
         "Assemble(GroupByJoin[broadcast]"
@@ -104,6 +111,7 @@ def test_transpose_trace(session):
         "strategy-selection: rule preserve-tiling [rewrote plan]",
         "adaptive-install: not a cost-chosen group-by-join candidate",
         "cse: disabled (enable with PlannerOptions(cse=True) or REPRO_CSE=1)",
+        FUSION_OFF,
     ]
     assert final == "Assemble[tiled](MapTiles[per-tile kernel](Scan[i,j]))"
 
@@ -123,6 +131,7 @@ def test_smoothing_trace(session):
         "strategy-selection: no distributed rule applies -> local fallback",
         "adaptive-install: skipped (local plan)",
         "cse: skipped (local plan)",
+        "fusion: skipped (local plan)",
     ]
     assert final == ""
 
@@ -144,6 +153,7 @@ def test_factorization_step_trace(session):
         " gbj-broadcast-left) [rewrote plan]",
         "adaptive-install: not a cost-chosen group-by-join candidate",
         "cse: disabled (enable with PlannerOptions(cse=True) or REPRO_CSE=1)",
+        FUSION_OFF,
     ]
     assert final == (
         "Assemble(GroupByJoin[broadcast]"
@@ -160,3 +170,82 @@ def test_trace_appears_in_explain(session):
     assert "passes:" in report
     for name in PASS_NAMES:
         assert name in report
+
+
+# ----------------------------------------------------------------------
+# Fusion-pass goldens: the seven query shapes, fusion on
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def fusion_session():
+    from repro.planner import PlannerOptions
+
+    return SacSession(
+        cluster=TINY_CLUSTER, tile_size=TILE,
+        options=PlannerOptions(fusion=True),
+    )
+
+
+#: (shape, query, env builder, expected fusion note prefix).  Covers the
+#: pass's full decision surface: single-generator chains collapse whole
+#: ("tiles"), multi-generator chains fuse after the join ("joined"),
+#: guard chains pick up the Filter node, and the group-by / local /
+#: shuffle shapes report exactly why nothing fused.
+FUSION_SHAPES = [
+    ("add", (
+        "tiled(n,m)[ ((i,j),a+b) | ((i,j),a) <- M, ((ii,jj),b) <- N2,"
+        " ii == i, jj == j ]"
+    ), "fused 1 tile operator(s)"),
+    ("scale", "tiled(n,m)[ ((i,j),2.0*v) | ((i,j),v) <- M ]",
+     "fused 1 tile operator(s)"),
+    ("transpose", "tiled(m,n)[ ((j,i),v) | ((i,j),v) <- M ]",
+     "fused 1 tile operator(s)"),
+    ("guarded", "tiled(n,m)[ ((i,j),v*v) | ((i,j),v) <- M, i != j ]",
+     "fused 2 tile operator(s)"),
+    ("multiply", (
+        "tiled(n,n)[ ((i,j),+/v) | ((i,k),a) <- M, ((kk,j),b) <- C,"
+        " kk == k, let v = a*b, group by (i,j) ]"
+    ), "no fusible MapTiles/Filter chain (rule group-by-join)"),
+    ("shift", "tiled(n,m)[ ((i+1,j),v) | ((i,j),v) <- M, i+1 < n ]",
+     "no fusible MapTiles/Filter chain (rule tiled-shuffle)"),
+    ("smoothing", (
+        "tiled(n,m)[ ((ii,jj),(+/a) / count/a) | ((i,j),a) <- M,"
+        " ii <- (i-1) to (i+1), jj <- (j-1) to (j+1),"
+        " ii >= 0, ii < n, jj >= 0, jj < m, group by (ii,jj) ]"
+    ), "skipped (local plan)"),
+]
+
+
+@pytest.mark.parametrize(
+    "shape,query,note", FUSION_SHAPES, ids=[s[0] for s in FUSION_SHAPES]
+)
+def test_fusion_note_per_shape(fusion_session, shape, query, note):
+    """The fusion pass's note is pinned for every query shape."""
+    session = fusion_session
+    env = {"M": _mat(session, 30, 20), "N2": _mat(session, 30, 20),
+           "C": _mat(session, 20, 30), "n": 30, "m": 20}
+    summaries, _final = trace_of(session, query, env)
+    fusion_lines = [s for s in summaries if s.startswith("fusion:")]
+    assert len(fusion_lines) == 1
+    assert fusion_lines[0].startswith(f"fusion: {note}"), fusion_lines[0]
+
+
+def test_fused_render_golden(fusion_session):
+    """Fusion rewrites the chain into a single FusedKernel node."""
+    session = fusion_session
+    env = {"M": _mat(session, 30, 20), "n": 30, "m": 20}
+    _summaries, final = trace_of(
+        session, "tiled(m,n)[ ((j,i),v) | ((i,j),v) <- M ]", env
+    )
+    assert final == "Assemble[tiled](FusedKernel[fused kernel](Scan[i,j]))"
+    _summaries, final = trace_of(
+        session,
+        "tiled(n,m)[ ((i,j),a+b) | ((i,j),a) <- M, ((ii,jj),b) <- N2,"
+        " ii == i, jj == j ]",
+        {**env, "N2": _mat(session, 30, 20)},
+    )
+    assert final == (
+        "Assemble[tiled](FusedKernel[fused kernel]"
+        "(Scan[i,j], Scan[ii,jj]))"
+    )

@@ -275,6 +275,93 @@ def test_fig4c_step_recompile_5x_faster_with_cache():
 
 
 # ----------------------------------------------------------------------
+# Pass-pipeline reuse (the back-half cache)
+# ----------------------------------------------------------------------
+
+
+def pass_stats(session):
+    return session.compile_stats()["pass_cache"]
+
+
+def test_pass_cache_hits_on_identical_bindings(session):
+    A, B = _mats(session)
+    env = dict(A=A, B=B, n=30, m=30)
+    session.compile(MULTIPLY, env)
+    session.compile(MULTIPLY, env)
+    stats = pass_stats(session)
+    assert stats == {"size": 1, "hits": 1, "misses": 1, "evictions": 0}
+
+
+def test_pass_cache_misses_on_changed_scalar(session):
+    """A decaying step size must never serve a stale pass result.
+
+    The front half matches (scalar signatures carry only the type), so
+    this is exactly the case the identity-level key exists for.
+    """
+    A = session.tiled(RNG.uniform(0, 9, size=(30, 20)))
+    B = session.tiled(RNG.uniform(0, 9, size=(30, 20)))
+    step = (
+        "tiled(n, m)[ ((i,j), a + gamma * b)"
+        " | ((i,j),a) <- A, ((ii,jj),b) <- B, ii == i, jj == j ]"
+    )
+    results = {}
+    for gamma in (0.5, 0.25):
+        compiled = session.compile(step, A=A, B=B, n=30, m=20, gamma=gamma)
+        results[gamma] = compiled.execute().to_numpy()
+    assert pass_stats(session)["misses"] == 2
+    np.testing.assert_allclose(
+        results[0.25], A.to_numpy() + 0.25 * B.to_numpy()
+    )
+    assert not np.allclose(results[0.5], results[0.25])
+
+
+def test_pass_cache_misses_on_swapped_storage(session):
+    """Same shape, different array object: identity gates reuse."""
+    A, B = _mats(session)
+    A2 = session.tiled(RNG.uniform(0, 9, size=(30, 20)))
+    first = session.compile(MULTIPLY, A=A, B=B, n=30, m=30)
+    second = session.compile(MULTIPLY, A=A2, B=B, n=30, m=30)
+    assert pass_stats(session)["misses"] == 2
+    assert pass_stats(session)["hits"] == 0
+    np.testing.assert_allclose(
+        second.execute().to_numpy(), A2.to_numpy() @ B.to_numpy()
+    )
+    np.testing.assert_allclose(
+        first.execute().to_numpy(), A.to_numpy() @ B.to_numpy()
+    )
+
+
+def test_pass_cache_distinguishes_scalar_types(session):
+    """``1`` and ``True`` hash alike; the typed key keeps them apart."""
+    A, B = _mats(session)
+    session.compile(MULTIPLY, A=A, B=B, n=30, m=30)
+    key_int = session._pass_cache_key(("k",), {"n": 1})
+    key_bool = session._pass_cache_key(("k",), {"n": True})
+    key_float = session._pass_cache_key(("k",), {"n": 1.0})
+    assert len({key_int, key_bool, key_float}) == 3
+
+
+def test_pass_cache_skips_unhashable_bindings(session):
+    assert session._pass_cache_key(("k",), {"n": [1, 2]}) is None
+
+
+def test_pass_cache_hit_execution_is_byte_identical(session):
+    """A back-half hit lowers fresh RDDs: same bytes, same counters."""
+    A, B = _mats(session)
+    env = dict(A=A, B=B, n=30, m=30)
+    first = session.compile(MULTIPLY, env)
+    r1 = first.execute().to_numpy()
+    c1 = session.engine.metrics.total.shuffle_bytes
+    second = session.compile(MULTIPLY, env)
+    assert pass_stats(session)["hits"] == 1
+    assert second.plan is not first.plan
+    r2 = second.execute().to_numpy()
+    c2 = session.engine.metrics.total.shuffle_bytes
+    assert r1.tobytes() == r2.tobytes()
+    assert c2 - c1 == c1  # second run shuffled exactly as many bytes
+
+
+# ----------------------------------------------------------------------
 # Thread safety
 # ----------------------------------------------------------------------
 
