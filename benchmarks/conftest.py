@@ -126,6 +126,14 @@ PAPER_EXPECTATIONS = {
         "map-heavy smoothing chain at byte-identical results and "
         "identical engine counters."
     ),
+    "ablation-serve": (
+        "Extension (E15): N concurrent replay clients on one shared "
+        "substrate vs N isolated per-client engines — expect a higher "
+        "plan-cache hit rate (the fleet compiles each distinct query "
+        "once, not once per client), strictly more retained-shuffle "
+        "reuse (cross-tenant, not just cross-round), and a lower p95 "
+        "query latency, at byte-identical per-query results."
+    ),
     "ablation-spill": (
         "Extension (E13): a fig4c-style multiply with its working set "
         "several times the memory cap must produce byte-identical "

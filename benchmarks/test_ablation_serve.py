@@ -1,0 +1,163 @@
+"""Ablation E15 — shared-substrate serving vs isolated per-client engines.
+
+The multi-tenant front door's reason to exist: N concurrent clients
+replaying the same dashboard-style workload (tiled multiply, scaled
+add, row sums over shared hosted matrices) either share one
+:class:`~repro.engine.EngineSubstrate` — one runner pool, one block
+store, one plan-cache group, one retained-shuffle store — or each get
+the pre-refactor deal, a fully private engine per client.
+
+Shared must win three ways at byte-identical per-query results:
+
+* **plan-cache hit rate** — only the first execution of each distinct
+  query in the whole fleet compiles; isolated arms compile per client;
+* **shuffle reuse** — retained shuffle outputs answer later *tenants'*
+  equal shuffles, not just later rounds of the same client;
+* **p95 latency** — the compile and shuffle savings land in the tail.
+
+The identity and counter invariants are exact and asserted on every
+attempt; the latency bar re-measures up to ``ATTEMPTS`` times (both
+arms fully re-run) because a loaded host can compress any single
+measurement.
+"""
+
+import time
+
+from repro.engine import BENCH_CLUSTER
+from repro.serve import QueryService, demo_workload, replay
+
+TENANTS = 4
+ROUNDS = 3
+N = 24
+TILE = 8
+ATTEMPTS = 3
+
+#: 3 distinct queries per tenant per round (see ``demo_workload``).
+QUERIES_PER_TENANT = 3
+
+
+def _arm_metrics(report, tenants, reuses, wall):
+    hits = sum(s["plan_cache_hits"] for s in tenants.values())
+    misses = sum(s["plan_cache_misses"] for s in tenants.values())
+    return {
+        "wall_seconds": wall,
+        "plan_cache_hits": hits,
+        "plan_cache_misses": misses,
+        "plan_cache_hit_rate": hits / max(hits + misses, 1),
+        "shuffle_reuses": reuses,
+        "latency_p50_ms": report.latency_percentile(0.50) * 1e3,
+        "latency_p95_ms": report.latency_percentile(0.95) * 1e3,
+        "errors": len(report.errors),
+    }
+
+
+def _run_shared():
+    service = QueryService(cluster=BENCH_CLUSTER, tile_size=TILE)
+    workloads = demo_workload(service, num_tenants=TENANTS, size=N)
+    start = time.perf_counter()
+    report = replay(service.submit, workloads, rounds=ROUNDS)
+    wall = time.perf_counter() - start
+    stats = service.metrics_report()
+    metrics = _arm_metrics(
+        report, stats["tenants"],
+        service.substrate.metrics.total.shuffle_reuses, wall,
+    )
+    sim = service.substrate.metrics.total.simulated_time(BENCH_CLUSTER)
+    shuffle_bytes = service.substrate.metrics.total.shuffle_bytes
+    digests = dict(report.digests)
+    service.close()
+    return metrics, sim, shuffle_bytes, digests
+
+
+def _run_isolated():
+    """The pre-substrate world: one private engine per client, same
+    workload, same data (hosted per client from the same seed)."""
+    services: dict[str, QueryService] = {}
+    workloads = {}
+    for index in range(TENANTS):
+        name = f"tenant-{index + 1}"
+        service = QueryService(cluster=BENCH_CLUSTER, tile_size=TILE)
+        workloads[name] = demo_workload(
+            service, num_tenants=1, size=N
+        )["tenant-1"]
+        services[name] = service
+
+    def submit(tenant, query, env=None, include_values=False):
+        return services[tenant].submit(tenant, query, env, include_values)
+
+    start = time.perf_counter()
+    report = replay(submit, workloads, rounds=ROUNDS)
+    wall = time.perf_counter() - start
+    tenants = {}
+    reuses = 0
+    sim = 0.0
+    shuffle_bytes = 0
+    for name, service in services.items():
+        tenants[name] = service.metrics_report()["tenants"][name]
+        total = service.substrate.metrics.total
+        reuses += total.shuffle_reuses
+        sim += total.simulated_time(BENCH_CLUSTER)
+        shuffle_bytes += total.shuffle_bytes
+        service.close()
+    metrics = _arm_metrics(report, tenants, reuses, wall)
+    return metrics, sim, shuffle_bytes, dict(report.digests)
+
+
+def _measure_once():
+    shared, shared_sim, shared_bytes, shared_digests = _run_shared()
+    isolated, isolated_sim, isolated_bytes, isolated_digests = (
+        _run_isolated()
+    )
+
+    # Exact invariants, every attempt:
+    assert shared["errors"] == 0 and isolated["errors"] == 0
+    # Byte-identical answers, tenant for tenant, query for query.
+    assert shared_digests == isolated_digests
+    # The whole fleet compiles each distinct query at most a couple of
+    # times (a racing first round can double-compile); isolated clients
+    # compile it once *each*.
+    assert isolated["plan_cache_misses"] == TENANTS * QUERIES_PER_TENANT
+    assert shared["plan_cache_misses"] < isolated["plan_cache_misses"]
+    assert shared["plan_cache_hit_rate"] > isolated["plan_cache_hit_rate"]
+    # Cross-tenant reuse: retained shuffles answer other tenants' first
+    # rounds too, so the shared store strictly beats per-client stores.
+    assert shared["shuffle_reuses"] > isolated["shuffle_reuses"]
+
+    return (shared, shared_sim, shared_bytes), (
+        isolated, isolated_sim, isolated_bytes,
+    )
+
+
+def test_shared_substrate_beats_isolated_sessions(measure):
+    """E15: higher hit rate, more reuse, lower p95, identical bytes."""
+    record, _run_measured = measure
+    shared_pack = isolated_pack = None
+    for _attempt in range(ATTEMPTS):
+        shared_pack, isolated_pack = _measure_once()
+        if (
+            shared_pack[0]["latency_p95_ms"]
+            < isolated_pack[0]["latency_p95_ms"]
+        ):
+            break
+
+    for system, (metrics, sim, shuffle_bytes) in (
+        ("shared substrate", shared_pack),
+        ("isolated sessions", isolated_pack),
+    ):
+        record(
+            "ablation-serve", system, N, metrics["wall_seconds"], sim,
+            shuffle_bytes, metrics,
+        )
+    shared, isolated = shared_pack[0], isolated_pack[0]
+    print(
+        f"\nserve: shared hit rate {shared['plan_cache_hit_rate']:.2f} "
+        f"({shared['shuffle_reuses']} reuses, "
+        f"p95 {shared['latency_p95_ms']:.2f}ms) vs isolated "
+        f"{isolated['plan_cache_hit_rate']:.2f} "
+        f"({isolated['shuffle_reuses']} reuses, "
+        f"p95 {isolated['latency_p95_ms']:.2f}ms)"
+    )
+    assert shared["latency_p95_ms"] < isolated["latency_p95_ms"], (
+        f"shared p95 {shared['latency_p95_ms']:.2f}ms not below isolated "
+        f"{isolated['latency_p95_ms']:.2f}ms"
+    )

@@ -210,6 +210,15 @@ def _metrics_report(session: SacSession, as_json: bool) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        # ``repro serve``: the multi-tenant query front door.  Dispatch
+        # before the query parser, which would otherwise eat "serve" as
+        # the query string.
+        from .serve import serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     options = None
     if args.no_fusion:

@@ -20,9 +20,7 @@ running anything.
 
 from __future__ import annotations
 
-import os
-import threading
-from collections import OrderedDict
+import time
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -31,72 +29,18 @@ import numpy as np
 from ..comprehension import (
     Expr, FreshNames, Interpreter, desugar, normalize, parse,
 )
-from ..engine import PAPER_CLUSTER, ClusterSpec, EngineContext, RDD
+from ..engine import PAPER_CLUSTER, ClusterSpec, EngineContext, RDD, env_flag
+from ..engine.substrate import LruCache
 from ..planner import Plan, PlannerOptions, cse_enabled, plan_state
 from ..planner.lower import lower
 from ..planner.codegen import explain as explain_plan
 from ..storage import TiledMatrix, TiledVector
 from ..storage.registry import REGISTRY, BuildContext
 
-
-class _LruCache:
-    """Bounded LRU cache with hit/miss/eviction counters (thread-safe).
-
-    Used for the session's parse and plan caches: iterative workloads
-    (k-means, matrix factorization) compile the same handful of queries
-    every step, so these stay tiny in practice; the bound only protects
-    long-lived sessions that stream many distinct queries.
-    """
-
-    def __init__(self, maxsize: int):
-        self.maxsize = maxsize
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self._data: OrderedDict = OrderedDict()
-        self._lock = threading.Lock()
-
-    def get(self, key):
-        with self._lock:
-            try:
-                value = self._data[key]
-            except KeyError:
-                self.misses += 1
-                return None
-            self._data.move_to_end(key)
-            self.hits += 1
-            return value
-
-    def put(self, key, value) -> None:
-        with self._lock:
-            if key in self._data:
-                self._data.move_to_end(key)
-            self._data[key] = value
-            while len(self._data) > self.maxsize:
-                self._data.popitem(last=False)
-                self.evictions += 1
-
-    def clear(self) -> None:
-        with self._lock:
-            self._data.clear()
-
-    def __len__(self) -> int:
-        return len(self._data)
-
-    def __contains__(self, key) -> bool:
-        return key in self._data
-
-    def __getitem__(self, key):
-        """Raw (non-counting, non-reordering) access, for introspection."""
-        return self._data[key]
-
-    def stats(self) -> dict[str, int]:
-        return {
-            "size": len(self._data),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+#: The session-level caches moved up to the substrate
+#: (:class:`repro.engine.substrate.PlanCacheGroup`) so same-shaped
+#: sessions share compile hits; the name survives for importers.
+_LruCache = LruCache
 
 
 @dataclass
@@ -154,6 +98,16 @@ class SacSession:
             staged scheduler runs with byte-identical metrics counters.
             When an ``engine`` is supplied, a non-``None`` value
             overrides that engine's setting.
+        tenant: tenant label for multi-tenant substrates.  ``None``
+            (default) inherits the engine view's tenant (empty for a
+            private engine).  A labeled session's queries are gated by
+            the substrate's admission control and counted in per-tenant
+            metrics, and its cached blocks are charged to its quota.
+        quota: resident-block byte cap for this session's tenant
+            (``"64M"``-style strings accepted); only meaningful with a
+            named tenant on a budgeted substrate.
+        reservation: residency floor other tenants' evictions cannot
+            push this tenant below.
     """
 
     def __init__(
@@ -168,27 +122,35 @@ class SacSession:
         adaptive: Optional[bool] = None,
         pipeline: Optional[bool] = None,
         memory_limit: Optional[int | str] = None,
+        tenant: Optional[str] = None,
+        quota: Optional[int | str] = None,
+        reservation: Optional[int | str] = None,
     ):
         if engine is None:
             if adaptive is None:
-                env_flag = os.environ.get("REPRO_ADAPTIVE")
-                adaptive = (
-                    env_flag.lower() in ("1", "true", "yes")
-                    if env_flag is not None
-                    else True
-                )
+                adaptive = env_flag("REPRO_ADAPTIVE", True)
             engine = EngineContext(
                 cluster=cluster, runner=runner, memory_budget=memory_budget,
                 adaptive=adaptive, pipeline=pipeline,
                 memory_limit=memory_limit,
+                tenant=tenant or "", quota=quota, reservation=reservation,
             )
-        else:
-            if adaptive is not None:
-                engine.adaptive.enabled = adaptive
-            if pipeline is not None:
-                engine.scheduler.pipeline = pipeline
-                engine.pipeline = pipeline
+        elif (
+            adaptive is not None
+            or pipeline is not None
+            or tenant is not None
+            or quota is not None
+            or reservation is not None
+        ):
+            # Per-session overrides become a fresh view over the same
+            # substrate — never an in-place mutation of the caller's
+            # engine, which other sessions may share.
+            engine = engine.view(
+                tenant=tenant, adaptive=adaptive, pipeline=pipeline,
+                quota=quota, reservation=reservation,
+            )
         self.engine = engine
+        self.tenant = getattr(engine, "tenant", "") or ""
         self.tile_size = tile_size
         self.options = options or PlannerOptions()
         self.build_context = BuildContext(
@@ -201,20 +163,25 @@ class SacSession:
         # normalized) pair is cached per storage signature of the
         # bindings.  Lowering always re-runs against the live
         # environment, so a cached compile builds fresh RDD lineages.
-        self._parse_cache = _LruCache(512)
-        self._plan_cache = _LruCache(256)
+        # The caches live on the substrate (PlanCacheGroup), so sessions
+        # sharing an engine share hits; every key carries this session's
+        # build profile (see _plan_cache_key), so differently-shaped
+        # sessions can never serve each other stale entries.
+        caches = self.engine.substrate.plan_caches
+        self._parse_cache = caches.parse
+        self._plan_cache = caches.plan
         # Whole-Plan reuse across compiles, keyed by the plan's IR
         # fingerprint (only set when common-subplan elimination is on).
         # Handing back the earlier Plan object lets repeated steps of an
         # iterative workload share lowered RDD lineages — and therefore
         # the shuffle outputs the CSE pass marked for reuse.
-        self._compiled_plan_cache = _LruCache(64)
+        self._compiled_plan_cache = caches.compiled
         # Pass-pipeline reuse: the finished PlanState for one compile,
         # keyed by the front-half key *plus* binding identities (see
         # _pass_cache_key).  A hit skips straight to lowering, which
         # still runs per compile so every plan gets fresh RDD lineages
         # and execution stays byte-identical to an uncached compile.
-        self._pass_cache = _LruCache(256)
+        self._pass_cache = caches.passes
 
     def _parse_cached(self, query: str) -> Expr:
         cached = self._parse_cache.get(query)
@@ -265,9 +232,11 @@ class SacSession:
 
         Besides the query text and binding signatures, the key carries
         everything else a compile's outcome depends on: the planner
-        option switches (strategy overrides, CSE) and whether adaptive
-        re-optimization is armed — so toggling any of those between
-        compiles can never serve a stale cached result.
+        option switches (strategy overrides, CSE), whether adaptive
+        re-optimization is armed, and the session's build profile (tile
+        size, partition hint, pipelined execution) — so toggling any of
+        those between compiles, or another same-substrate session with
+        a different shape, can never serve a stale cached result.
         """
         try:
             bindings = tuple(
@@ -282,6 +251,11 @@ class SacSession:
                 bindings,
                 self.options.cache_signature(),
                 bool(manager is not None and manager.enabled),
+                (
+                    self.tile_size,
+                    self.build_context.num_partitions,
+                    bool(getattr(self.engine, "pipeline", False)),
+                ),
             )
         except TypeError:  # unsortable/unhashable binding: skip the cache
             return None
@@ -332,6 +306,10 @@ class SacSession:
         full_env = {**(env or {}), **bindings}
         key = self._plan_cache_key(query, full_env) if cache else None
         cached = self._plan_cache.get(key) if key is not None else None
+        if key is not None and self.tenant:
+            self.engine.metrics.record_tenant_plan_cache(
+                self.tenant, hit=cached is not None
+            )
         if cached is not None:
             parsed, normalized = cached
         else:
@@ -385,8 +363,35 @@ class SacSession:
         }
 
     def run(self, query: str, env: Optional[dict[str, Any]] = None, **bindings: Any) -> Any:
-        """Compile and execute a query."""
-        return self.compile(query, env, **bindings).execute()
+        """Compile and execute a query.
+
+        Execution passes through the substrate's admission gate (a
+        no-op unless the substrate bounds concurrent jobs); a labeled
+        tenant's query count and latency land in per-tenant metrics.
+        """
+        start = time.perf_counter()
+        try:
+            compiled = self.compile(query, env, **bindings)
+            with self.engine.substrate.admission.admit(self.tenant):
+                if self.tenant:
+                    # Attribute driver-thread engine events (reused
+                    # shuffles over shared datasets, chiefly) to this
+                    # tenant while its query runs.
+                    with self.engine.metrics.tenant_scope(self.tenant):
+                        result = compiled.execute()
+                else:
+                    result = compiled.execute()
+        except Exception:
+            if self.tenant:
+                self.engine.metrics.record_tenant_query(
+                    self.tenant, time.perf_counter() - start, error=True
+                )
+            raise
+        if self.tenant:
+            self.engine.metrics.record_tenant_query(
+                self.tenant, time.perf_counter() - start
+            )
+        return result
 
     def explain(self, query: str, env: Optional[dict[str, Any]] = None, **bindings: Any) -> str:
         """The compilation report: normalized form, rule, pseudocode."""

@@ -10,13 +10,16 @@ cluster.
 """
 
 from .adaptive import AdaptiveDecision, AdaptiveManager
-from .block_manager import BlockManager, ManagedOutput, SpillLostError
+from .block_manager import (
+    BlockManager, ManagedOutput, SpillLostError, TenantBlockView,
+)
 from .cluster import BENCH_CLUSTER, PAPER_CLUSTER, TINY_CLUSTER, ClusterSpec
 from .context import Accumulator, Broadcast, EngineContext, parse_memory_limit
-from .metrics import JobMetrics, MetricsRegistry
+from .metrics import JobMetrics, MetricsRegistry, TenantCounters
 from .partitioner import GridPartitioner, HashPartitioner, Partitioner, portable_hash
 from .rdd import RDD
 from .scheduler import (
+    FairJobScheduler,
     FaultInjection,
     InjectedFatalTaskError,
     InjectedTaskFailure,
@@ -27,6 +30,7 @@ from .scheduler import (
     TransientTaskError,
     resolve_runner,
 )
+from .substrate import EngineSubstrate, LruCache, PlanCacheGroup, env_flag
 from .serialization import RecordSizeAccountant
 from .shuffle import (
     Aggregator,
@@ -46,15 +50,19 @@ __all__ = [
     "BENCH_CLUSTER",
     "ClusterSpec",
     "EngineContext",
+    "EngineSubstrate",
+    "FairJobScheduler",
     "FaultInjection",
     "GridPartitioner",
     "HashPartitioner",
     "InjectedFatalTaskError",
     "InjectedTaskFailure",
     "JobMetrics",
+    "LruCache",
     "ManagedOutput",
     "MapOutputStatistics",
     "MetricsRegistry",
+    "PlanCacheGroup",
     "PAPER_CLUSTER",
     "Partitioner",
     "PipelinedShuffle",
@@ -67,10 +75,13 @@ __all__ = [
     "Task",
     "TaskGraph",
     "TaskRunner",
+    "TenantBlockView",
+    "TenantCounters",
     "ThreadedTaskRunner",
     "TINY_CLUSTER",
     "TransientTaskError",
     "compile_job_graph",
+    "env_flag",
     "parse_memory_limit",
     "portable_hash",
     "resolve_runner",

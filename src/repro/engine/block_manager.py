@@ -191,6 +191,14 @@ class BlockManager:
         self._accountant = RecordSizeAccountant()
         self._shuffles: "OrderedDict[int, list[_ShuffleEntry]]" = OrderedDict()
         self._num_shuffle_entries = 0
+        #: Tenancy layer (all empty — and all paths byte-identical to the
+        #: single-tenant store — unless a :class:`TenantBlockView` writes
+        #: through this manager): namespace -> owning tenant, per-tenant
+        #: resident bytes, and per-tenant quota/reservation configs.
+        self._ns_tenant: "dict[str, str]" = {}
+        self._tenant_bytes: "dict[str, int]" = {}
+        self._tenant_quota: "dict[str, int]" = {}
+        self._tenant_reservation: "dict[str, int]" = {}
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
@@ -243,12 +251,15 @@ class BlockManager:
         """
         return self._lookup((self._cache_ns(rdd_id), split), count_hits=True)
 
-    def put(self, rdd_id: int, split: int, records: list) -> bool:
+    def put(
+        self, rdd_id: int, split: int, records: list, tenant: str = ""
+    ) -> bool:
         """Store one computed partition; returns whether it was kept.
 
-        A partition larger than the whole budget is not stored at all
-        (evicting everything else for it would thrash); the caller just
-        keeps its computed list for the current read.
+        A partition larger than the whole budget — or than the writing
+        tenant's quota — is not stored at all (evicting everything else
+        for it would thrash); the caller just keeps its computed list
+        for the current read.
         """
         nbytes = self._accountant.batch_size(records)
         key = (self._cache_ns(rdd_id), split)
@@ -259,9 +270,15 @@ class BlockManager:
                 return True
             if self._budget is not None and nbytes > self._budget:
                 return False
+            if tenant:
+                self._ns_tenant.setdefault(key[0], tenant)
+                quota = self._tenant_quota.get(tenant)
+                if quota is not None and nbytes > quota:
+                    return False
             self._drop_spilled(key)
             self._blocks[key] = _Block(records, nbytes)
             self._bytes += nbytes
+            self._account_add(key, nbytes)
             self._evict_to_budget(protect=key)
             return True
 
@@ -342,6 +359,7 @@ class BlockManager:
                         records, nbytes, prefetched=prefetch
                     )
                     self._bytes += nbytes
+                    self._account_add(key, nbytes)
                     self._evict_to_budget(protect=key)
                 self._metrics.record_spill_restore(
                     nbytes, 0.0 if prefetch else stall
@@ -364,20 +382,88 @@ class BlockManager:
             except Exception:  # pragma: no cover - best effort
                 pass
 
+    def _account_add(self, key: tuple[str, int], nbytes: int) -> None:
+        """Charge a now-resident block to its owning tenant (lock held)."""
+        tenant = self._ns_tenant.get(key[0], "")
+        if tenant:
+            self._tenant_bytes[tenant] = (
+                self._tenant_bytes.get(tenant, 0) + nbytes
+            )
+
+    def _account_sub(self, key: tuple[str, int], nbytes: int) -> None:
+        """Release a no-longer-resident block's tenant charge (lock held)."""
+        tenant = self._ns_tenant.get(key[0], "")
+        if tenant:
+            self._tenant_bytes[tenant] = (
+                self._tenant_bytes.get(tenant, 0) - nbytes
+            )
+
+    def _evict_one(self, victim: tuple[str, int]) -> int:
+        """Evict (and possibly spill) one resident block (lock held)."""
+        block = self._blocks.pop(victim)
+        self._bytes -= block.nbytes
+        self._account_sub(victim, block.nbytes)
+        self._metrics.record_cache_eviction(block.nbytes)
+        if self._store is not None:
+            self._spill(victim, block)
+        return block.nbytes
+
+    def _may_evict(self, key: tuple[str, int], evictor: str) -> bool:
+        """Whether ``evictor``'s memory pressure may evict ``key``.
+
+        A tenant may always evict its own blocks and unowned blocks;
+        another tenant's block only while that tenant stays at or above
+        its configured residency reservation (lock held).
+        """
+        owner = self._ns_tenant.get(key[0], "")
+        if not owner or owner == evictor:
+            return True
+        reservation = self._tenant_reservation.get(owner, 0)
+        if not reservation:
+            return True
+        nbytes = self._blocks[key].nbytes
+        return self._tenant_bytes.get(owner, 0) - nbytes >= reservation
+
     def _evict_to_budget(self, protect: tuple[str, int]) -> None:
+        """Evict LRU blocks until quota and budget hold (lock held).
+
+        Two passes: first the writing tenant's own quota (its own LRU
+        blocks pay, counted as quota evictions), then the global budget,
+        where other tenants' blocks are victims only down to their
+        reservations.  With no tenants configured both passes reduce to
+        the historical single-budget LRU sweep, victim-for-victim.
+        """
+        tenant = self._ns_tenant.get(protect[0], "")
+        quota = self._tenant_quota.get(tenant) if tenant else None
+        if quota is not None:
+            while self._tenant_bytes.get(tenant, 0) > quota:
+                victim = next(
+                    (
+                        key
+                        for key in self._blocks
+                        if key != protect
+                        and self._ns_tenant.get(key[0], "") == tenant
+                    ),
+                    None,
+                )
+                if victim is None:
+                    break
+                freed = self._evict_one(victim)
+                self._metrics.record_tenant_quota_eviction(tenant, freed)
         if self._budget is None:
             return
         while self._bytes > self._budget:
             victim = next(
-                (key for key in self._blocks if key != protect), None
+                (
+                    key
+                    for key in self._blocks
+                    if key != protect and self._may_evict(key, tenant)
+                ),
+                None,
             )
             if victim is None:
                 return
-            block = self._blocks.pop(victim)
-            self._bytes -= block.nbytes
-            self._metrics.record_cache_eviction(block.nbytes)
-            if self._store is not None:
-                self._spill(victim, block)
+            self._evict_one(victim)
 
     def _spill(self, key: tuple[str, int], block: _Block) -> None:
         """Serialize an evicted block to the spill store (lock held)."""
@@ -422,10 +508,13 @@ class BlockManager:
             victims = [key for key in self._blocks if key[0] == ns]
             freed = 0
             for key in victims:
-                freed += self._blocks.pop(key).nbytes
+                nbytes = self._blocks.pop(key).nbytes
+                self._account_sub(key, nbytes)
+                freed += nbytes
             self._bytes -= freed
             for key in [key for key in self._spilled if key[0] == ns]:
                 self._drop_spilled(key)
+            self._ns_tenant.pop(ns, None)
             return freed
 
     # ------------------------------------------------------------------
@@ -443,21 +532,26 @@ class BlockManager:
         self.drop_managed(owner)
         return ManagedOutput(self, owner, num_partitions, stats=stats)
 
-    def put_managed(self, owner: str, split: int, records: list) -> int:
+    def put_managed(
+        self, owner: str, split: int, records: list, tenant: str = ""
+    ) -> int:
         """Adopt one produced partition under ``owner``; returns its bytes.
 
-        Unlike :meth:`put`, an over-budget partition is still admitted
-        (it is the data's only copy); it stays as the one protected
-        resident until the next eviction pass spills it.
+        Unlike :meth:`put`, an over-budget (or over-quota) partition is
+        still admitted (it is the data's only copy); it stays as the one
+        protected resident until the next eviction pass spills it.
         """
         nbytes = self._accountant.batch_size(records)
         key = (owner, split)
         with self._lock:
             if key in self._blocks:
                 return self._blocks[key].nbytes
+            if tenant:
+                self._ns_tenant.setdefault(owner, tenant)
             self._drop_spilled(key)
             self._blocks[key] = _Block(records, nbytes)
             self._bytes += nbytes
+            self._account_add(key, nbytes)
             self._evict_to_budget(protect=key)
             return nbytes
 
@@ -478,12 +572,19 @@ class BlockManager:
         with self._lock:
             victims = [key for key in self._blocks if key[0] == owner]
             for key in victims:
-                self._bytes -= self._blocks.pop(key).nbytes
+                nbytes = self._blocks.pop(key).nbytes
+                self._account_sub(key, nbytes)
+                self._bytes -= nbytes
             for key in [key for key in self._spilled if key[0] == owner]:
                 self._drop_spilled(key)
+            self._ns_tenant.pop(owner, None)
 
     def adopt_output(
-        self, owner: str, partitions: Iterable[list], stats: Any = None
+        self,
+        owner: str,
+        partitions: Iterable[list],
+        stats: Any = None,
+        tenant: str = "",
     ) -> ManagedOutput:
         """Adopt a wide dependency's finished partitions one at a time.
 
@@ -494,7 +595,7 @@ class BlockManager:
         count = 0
         self.drop_managed(owner)
         for split, records in enumerate(partitions):
-            self.put_managed(owner, split, records)
+            self.put_managed(owner, split, records, tenant=tenant)
             count += 1
         return ManagedOutput(self, owner, count, stats=stats)
 
@@ -651,9 +752,64 @@ class BlockManager:
                 self._num_shuffle_entries -= 1
 
     # ------------------------------------------------------------------
+    # Tenancy
+    # ------------------------------------------------------------------
+
+    def configure_tenant(
+        self,
+        tenant: str,
+        quota: Optional[int] = None,
+        reservation: int = 0,
+    ) -> None:
+        """Set one tenant's residency quota and/or reservation.
+
+        ``quota`` caps the tenant's resident block bytes (its own LRU
+        blocks are evicted — spilled, with a store — to stay under it);
+        ``reservation`` is the residency floor other tenants' evictions
+        may not push it below.  A reservation larger than the quota is
+        rejected (it could never be honored and would wedge eviction).
+        """
+        if quota is not None and reservation > quota:
+            raise ValueError(
+                f"tenant {tenant!r}: reservation {reservation} exceeds "
+                f"quota {quota}"
+            )
+        with self._lock:
+            if quota is not None:
+                self._tenant_quota[tenant] = quota
+            if reservation:
+                self._tenant_reservation[tenant] = reservation
+            self._tenant_bytes.setdefault(tenant, 0)
+
+    def view(self, tenant: str) -> "TenantBlockView":
+        """A write-labeling facade attributing new blocks to ``tenant``."""
+        return TenantBlockView(self, tenant)
+
+    def tenant_usage(self) -> dict[str, dict[str, Any]]:
+        """Per-tenant residency usage against quota and reservation."""
+        with self._lock:
+            tenants = (
+                set(self._tenant_bytes)
+                | set(self._tenant_quota)
+                | set(self._tenant_reservation)
+            )
+            return {
+                tenant: {
+                    "resident_bytes": self._tenant_bytes.get(tenant, 0),
+                    "quota_bytes": self._tenant_quota.get(tenant),
+                    "reservation_bytes": self._tenant_reservation.get(tenant, 0),
+                }
+                for tenant in tenants
+            }
+
+    # ------------------------------------------------------------------
 
     def clear(self) -> None:
-        """Forget everything (blocks, spill tier, retained shuffles)."""
+        """Forget everything (blocks, spill tier, retained shuffles).
+
+        Tenant quota/reservation *configs* survive (they are policy, not
+        data); the per-tenant byte accounting resets with the blocks.
+        """
         with self._lock:
             self._blocks.clear()
             self._bytes = 0
@@ -661,6 +817,8 @@ class BlockManager:
                 self._drop_spilled(key)
             self._shuffles.clear()
             self._num_shuffle_entries = 0
+            self._ns_tenant.clear()
+            self._tenant_bytes = {tenant: 0 for tenant in self._tenant_bytes}
 
     def close(self) -> None:
         """Stop the prefetch pool (the store is closed by its owner)."""
@@ -677,3 +835,44 @@ class BlockManager:
                 f"spilled={len(self._spilled)}, "
                 f"shuffles={self._num_shuffle_entries})"
             )
+
+
+class TenantBlockView:
+    """One tenant's handle on a shared :class:`BlockManager`.
+
+    Reads, containment checks, prefetch, and shuffle-reuse registration
+    pass straight through (the store is shared — cross-tenant reuse of
+    registered shuffle outputs is the point); *writes* are labeled with
+    the tenant so quota accounting and reservation-aware eviction know
+    who owns each namespace.  Attribute access falls through to the
+    underlying manager, so the view is drop-in wherever a
+    ``BlockManager`` is expected.
+    """
+
+    def __init__(self, manager: BlockManager, tenant: str):
+        self._manager = manager
+        self.tenant = tenant
+
+    def put(self, rdd_id: int, split: int, records: list) -> bool:
+        return self._manager.put(rdd_id, split, records, tenant=self.tenant)
+
+    def put_managed(self, owner: str, split: int, records: list) -> int:
+        return self._manager.put_managed(
+            owner, split, records, tenant=self.tenant
+        )
+
+    def adopt_output(
+        self, owner: str, partitions: Iterable[list], stats: Any = None
+    ) -> ManagedOutput:
+        return self._manager.adopt_output(
+            owner, partitions, stats=stats, tenant=self.tenant
+        )
+
+    def view(self, tenant: str) -> "TenantBlockView":
+        return self._manager.view(tenant)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._manager, name)
+
+    def __repr__(self) -> str:
+        return f"TenantBlockView(tenant={self.tenant!r}, {self._manager!r})"

@@ -1,53 +1,33 @@
-"""The driver-side entry point to the engine (Spark's ``SparkContext``)."""
+"""The driver-side entry point to the engine (Spark's ``SparkContext``).
+
+Since the substrate split (:mod:`repro.engine.substrate`), a context is
+a cheap per-tenant *view*: the expensive shared machinery — runner pool,
+block manager, metrics, plan caches, admission gate — lives on an
+:class:`~repro.engine.substrate.EngineSubstrate`, and the context
+carries only per-session execution policy (adaptive, pipeline) and the
+per-session wrappers built from it.  Constructing a context the
+historical way builds a private substrate and behaves byte-identically
+to the pre-split engine.
+"""
 
 from __future__ import annotations
 
-import os
 import threading
 from typing import Any, Callable, Generic, Iterable, Iterator, Optional, TypeVar
 
 from .adaptive import AdaptiveManager
-from .block_manager import BlockManager
 from .cluster import PAPER_CLUSTER, ClusterSpec
-from .metrics import MetricsRegistry
 from .rdd import RDD, ParallelCollectionRDD
-from .scheduler import (
-    DAGScheduler, PipelinedTaskRunner, TaskRunner, resolve_runner,
-)
+from .scheduler import DAGScheduler, PipelinedTaskRunner, TaskRunner
 from .shuffle import ShuffleManager
+from .substrate import EngineSubstrate, env_flag, parse_memory_limit
+
+__all__ = [
+    "Accumulator", "Broadcast", "EngineContext", "env_flag",
+    "parse_memory_limit",
+]
 
 T = TypeVar("T")
-
-
-def parse_memory_limit(text: str | int | None) -> Optional[int]:
-    """A byte count from ``"64M"``-style size strings (K/M/G suffixes).
-
-    Accepts plain ints (passed through), decimal strings, and strings
-    with a K/M/G/KB/MB/GB suffix (powers of 1024, case-insensitive).
-    ``None`` and ``""`` mean no limit.
-    """
-    if text is None:
-        return None
-    if isinstance(text, int):
-        return text
-    cleaned = text.strip().lower()
-    if not cleaned:
-        return None
-    multiplier = 1
-    for suffix, factor in (("kb", 1024), ("mb", 1024**2), ("gb", 1024**3),
-                           ("k", 1024), ("m", 1024**2), ("g", 1024**3),
-                           ("b", 1)):
-        if cleaned.endswith(suffix):
-            cleaned = cleaned[: -len(suffix)].strip()
-            multiplier = factor
-            break
-    try:
-        return int(float(cleaned) * multiplier)
-    except ValueError:
-        raise ValueError(
-            f"cannot parse memory limit {text!r} (expected e.g. 67108864, "
-            f"'64M', '2G')"
-        ) from None
 
 
 class Broadcast(Generic[T]):
@@ -103,6 +83,17 @@ class EngineContext:
     stages, the shuffle manager's map/reduce tasks, and cogroup merges,
     so a threaded context keeps one persistent executor pool for its
     lifetime (``close()`` or a ``with`` block shuts it down).
+
+    Pass ``substrate=`` (or call :meth:`view` /
+    :meth:`~repro.engine.substrate.EngineSubstrate.view`) to attach this
+    context as a tenant view on an existing substrate instead of
+    building a private one: the view shares the substrate's pool, block
+    store, metrics, and plan caches, but carries its *own*
+    adaptive/pipeline flags, scheduler, and shuffle manager — so
+    per-session execution policy never leaks across sessions.  A named
+    ``tenant`` writes its cached blocks through a
+    :class:`~repro.engine.block_manager.TenantBlockView`, making it
+    subject to its ``quota`` and protected by its ``reservation``.
     """
 
     def __init__(
@@ -117,55 +108,47 @@ class EngineContext:
         memory_limit: Optional[int | str] = None,
         spill_store: Any = None,
         spill_prefetch: Optional[bool] = None,
+        substrate: Optional[EngineSubstrate] = None,
+        tenant: str = "",
+        quota: Optional[int | str] = None,
+        reservation: Optional[int | str] = None,
+        max_concurrent_jobs: Optional[int] = None,
     ):
-        self.cluster = cluster
-        self.metrics = MetricsRegistry()
-        self.runner = resolve_runner(runner, cluster)
-        # Bind the runner to this context's metrics so task retries land
-        # in the right JobMetrics.
-        self.runner.metrics = self.metrics
-        if reuse_shuffles is None:
-            reuse_shuffles = os.environ.get(
-                "REPRO_SHUFFLE_REUSE", ""
-            ).lower() in ("1", "true", "yes")
+        if substrate is None:
+            substrate = EngineSubstrate(
+                cluster=cluster, runner=runner,
+                default_parallelism=default_parallelism,
+                memory_budget=memory_budget, reuse_shuffles=reuse_shuffles,
+                memory_limit=memory_limit, spill_store=spill_store,
+                spill_prefetch=spill_prefetch,
+                max_concurrent_jobs=max_concurrent_jobs,
+            )
+        self.substrate = substrate
+        self.tenant = tenant
+        self.cluster = substrate.cluster
+        self.metrics = substrate.metrics
+        self.runner = substrate.runner
+        self.memory_limit = substrate.memory_limit
+        if tenant:
+            quota = parse_memory_limit(quota)
+            reservation = parse_memory_limit(reservation) or 0
+            if quota is not None or reservation:
+                substrate.block_manager.configure_tenant(
+                    tenant, quota=quota, reservation=reservation
+                )
+            self.block_manager = substrate.block_manager.view(tenant)
+        else:
+            # The unlabeled default tenant writes through the raw shared
+            # manager — byte-identical to the pre-tenancy store.
+            self.block_manager = substrate.block_manager
         if adaptive is None:
             # Raw engine contexts default to non-adaptive (the historical
             # behavior); SAC sessions pass an explicit value.  The
             # environment variable overrides either default for A/B runs.
-            adaptive = os.environ.get(
-                "REPRO_ADAPTIVE", ""
-            ).lower() in ("1", "true", "yes")
-        # Out-of-core tier: ``memory_limit`` both caps resident block
-        # bytes and turns eviction into spill-to-store (the legacy
-        # ``memory_budget`` keeps the historical drop-for-recompute
-        # semantics).  With neither set, nothing spill-related exists.
-        if memory_limit is None:
-            memory_limit = os.environ.get("REPRO_MEMORY_LIMIT") or None
-        self.memory_limit = parse_memory_limit(memory_limit)
-        if spill_prefetch is None:
-            env = os.environ.get("REPRO_SPILL_PREFETCH")
-            spill_prefetch = (
-                env.lower() in ("1", "true", "yes") if env is not None else True
-            )
-        self._owns_spill_store = False
-        if self.memory_limit is not None:
-            if memory_budget is None:
-                memory_budget = self.memory_limit
-            if spill_store is None:
-                from ..storage.objectstore import LocalDiskStore
-
-                spill_store = LocalDiskStore(
-                    os.environ.get("REPRO_SPILL_DIR") or None
-                )
-                self._owns_spill_store = True
-        self.block_manager = BlockManager(
-            self.metrics, memory_budget, reuse_shuffles=reuse_shuffles,
-            spill_store=spill_store, prefetch=spill_prefetch,
+            adaptive = env_flag("REPRO_ADAPTIVE", False)
+        self.adaptive = AdaptiveManager(
+            self.cluster, self.metrics, enabled=adaptive
         )
-        # Spill/restore paths pass through the runner's fault points
-        # (``inject_failure("restore", ...)``).
-        self.block_manager.runner = self.runner
-        self.adaptive = AdaptiveManager(cluster, self.metrics, enabled=adaptive)
         self.shuffle_manager = ShuffleManager(
             self.metrics, self.runner, adaptive=self.adaptive,
             blocks=self.block_manager,
@@ -173,43 +156,58 @@ class EngineContext:
         if pipeline is None:
             # Task-graph execution defaults on for runners that execute
             # graphs natively; ``REPRO_PIPELINE`` overrides for A/B runs.
-            env = os.environ.get("REPRO_PIPELINE")
-            if env is not None:
-                pipeline = env.lower() in ("1", "true", "yes")
-            else:
+            pipeline = env_flag("REPRO_PIPELINE")
+            if pipeline is None:
                 pipeline = isinstance(self.runner, PipelinedTaskRunner)
         self.pipeline = pipeline
         self.scheduler = DAGScheduler(
             self.metrics, self.runner, adaptive=self.adaptive,
             pipeline=pipeline, block_manager=self.block_manager,
         )
-        self._default_parallelism = default_parallelism or cluster.default_parallelism()
-        self._rdd_counter = 0
-        self._rdd_counter_lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
     @property
     def default_parallelism(self) -> int:
-        return self._default_parallelism
+        return self.substrate.default_parallelism
 
     def _register_rdd(self) -> int:
-        with self._rdd_counter_lock:
-            self._rdd_counter += 1
-            return self._rdd_counter
+        return self.substrate.register_rdd()
+
+    def view(
+        self,
+        tenant: Optional[str] = None,
+        *,
+        adaptive: Optional[bool] = None,
+        pipeline: Optional[bool] = None,
+        quota: Optional[int | str] = None,
+        reservation: Optional[int | str] = None,
+    ) -> "EngineContext":
+        """Another context over this context's substrate.
+
+        ``tenant=None`` inherits this view's tenant (the flag-override
+        case); flags left ``None`` inherit this view's current values,
+        so ``ctx.view(adaptive=False)`` is "same session shape, adaptive
+        off" without mutating ``ctx``.
+        """
+        return EngineContext(
+            substrate=self.substrate,
+            tenant=self.tenant if tenant is None else tenant,
+            adaptive=self.adaptive.enabled if adaptive is None else adaptive,
+            pipeline=self.pipeline if pipeline is None else pipeline,
+            quota=quota,
+            reservation=reservation,
+        )
 
     def close(self) -> None:
-        """Release the executor pool (idempotent; context stays usable
-        for serial work — a threaded runner re-spawns its pool lazily if
-        another job runs).  Also stops the spill prefetch pool and, when
-        this context created the spill store, closes it (removing its
-        temp directory)."""
-        self.runner.close()
-        self.block_manager.close()
-        if self._owns_spill_store:
-            store = self.block_manager.spill_store
-            if store is not None:
-                store.close()
+        """Release the substrate's executor pool (idempotent; the
+        context stays usable for serial work — a threaded runner
+        re-spawns its pool lazily if another job runs).  Also stops the
+        spill prefetch pool and, when the substrate created the spill
+        store, closes it (removing its temp directory).  Closing any
+        view closes the shared substrate — multi-tenant owners should
+        close the substrate once, not per-view."""
+        self.substrate.close()
 
     def __enter__(self) -> "EngineContext":
         return self
@@ -224,7 +222,7 @@ class EngineContext:
     ) -> RDD:
         """Distribute an in-memory collection as an RDD."""
         return ParallelCollectionRDD(
-            self, data, num_partitions or self._default_parallelism
+            self, data, num_partitions or self.default_parallelism
         )
 
     def empty_rdd(self) -> RDD:

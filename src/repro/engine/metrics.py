@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
@@ -258,6 +259,55 @@ class TaskTimer:
 
 
 @dataclass
+class TenantCounters:
+    """Per-tenant counters on a shared substrate's registry.
+
+    Engine-level counters (stages, shuffles, cache traffic) stay in the
+    shared :class:`JobMetrics` stream — RDD lineages execute against the
+    view that *built* the data, so attributing them per querying tenant
+    would lie whenever tenants share a hosted dataset.  These counters
+    are instead recorded at the query/front-door level, where the tenant
+    is unambiguous.
+    """
+
+    tenant: str
+    queries: int = 0
+    errors: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    shuffle_reuses: int = 0
+    admission_waits: int = 0
+    admission_wait_seconds: float = 0.0
+    quota_evictions: int = 0
+    quota_evicted_bytes: int = 0
+    #: Rolling per-query wall latencies (seconds); bounded so a
+    #: long-lived serve substrate cannot grow without limit.
+    latencies: deque = field(default_factory=lambda: deque(maxlen=4096))
+
+    def latency_percentile(self, fraction: float) -> float:
+        return _percentile(sorted(self.latencies), fraction)
+
+    def report(self) -> dict:
+        hits, misses = self.plan_cache_hits, self.plan_cache_misses
+        lookups = hits + misses
+        return {
+            "tenant": self.tenant,
+            "queries": self.queries,
+            "errors": self.errors,
+            "plan_cache_hits": hits,
+            "plan_cache_misses": misses,
+            "plan_cache_hit_rate": hits / lookups if lookups else 0.0,
+            "shuffle_reuses": self.shuffle_reuses,
+            "admission_waits": self.admission_waits,
+            "admission_wait_seconds": self.admission_wait_seconds,
+            "quota_evictions": self.quota_evictions,
+            "quota_evicted_bytes": self.quota_evicted_bytes,
+            "latency_p50_seconds": self.latency_percentile(0.50),
+            "latency_p95_seconds": self.latency_percentile(0.95),
+        }
+
+
+@dataclass
 class MetricsRegistry:
     """Cumulative metrics for one :class:`~repro.engine.context.EngineContext`.
 
@@ -269,9 +319,17 @@ class MetricsRegistry:
 
     total: JobMetrics = field(default_factory=lambda: JobMetrics(job_id=-1, description="total"))
     jobs: list[JobMetrics] = field(default_factory=list)
+    #: Per-tenant front-door counters (multi-tenant substrates only;
+    #: empty for a classic single-session engine).
+    tenants: dict = field(default_factory=dict)
     _active: Optional[JobMetrics] = None
     _next_job_id: int = 0
     _timers: threading.local = field(default_factory=threading.local)
+    #: Per-thread "which tenant's query is this thread running" marker
+    #: (set by :meth:`tenant_scope`); lets engine-level events recorded
+    #: on the driver thread — shuffle reuses, chiefly — attribute to the
+    #: tenant even when the reused lineage is owned by another view.
+    _tenant_scope: threading.local = field(default_factory=threading.local)
     #: Serializes counter mutation: with a parallel runner, nested
     #: materialization can record stages/shuffles from worker threads
     #: while the driver holds the job open.  Timer stacks stay
@@ -404,6 +462,9 @@ class MetricsRegistry:
         """An equal shuffle's retained map outputs answered a new shuffle."""
         with self._lock:
             self.current.shuffle_reuses += 1
+        tenant = getattr(self._tenant_scope, "name", "")
+        if tenant:
+            self.record_tenant_shuffle_reuse(tenant)
 
     # -- Spill-tier counters --------------------------------------------
 
@@ -454,6 +515,81 @@ class MetricsRegistry:
         with self._lock:
             self.current.kernel_cache_misses += 1
 
+    # -- Per-tenant counters --------------------------------------------
+
+    @contextmanager
+    def tenant_scope(self, tenant: str) -> Iterator[None]:
+        """Mark this thread as running ``tenant``'s query.
+
+        Engine events that cannot see the tenant through their lineage
+        (a reused shuffle whose data another view owns, typically the
+        shared-dataset loader) attribute to the scoped tenant instead.
+        Thread-local, so concurrent tenants on other threads are
+        unaffected; work handed to pool threads inside the scope stays
+        unattributed (the global counters still see it).
+        """
+        previous = getattr(self._tenant_scope, "name", "")
+        self._tenant_scope.name = tenant
+        try:
+            yield
+        finally:
+            self._tenant_scope.name = previous
+
+    def tenant(self, name: str) -> TenantCounters:
+        """The (lazily created) counter block for one tenant."""
+        with self._lock:
+            counters = self.tenants.get(name)
+            if counters is None:
+                counters = TenantCounters(tenant=name)
+                self.tenants[name] = counters
+            return counters
+
+    def record_tenant_query(
+        self, tenant: str, wall_seconds: float, error: bool = False
+    ) -> None:
+        """One front-door query finished for ``tenant``."""
+        counters = self.tenant(tenant)
+        with self._lock:
+            counters.queries += 1
+            if error:
+                counters.errors += 1
+            else:
+                counters.latencies.append(wall_seconds)
+
+    def record_tenant_plan_cache(self, tenant: str, hit: bool) -> None:
+        """A compile for ``tenant`` hit (or missed) the shared plan cache."""
+        counters = self.tenant(tenant)
+        with self._lock:
+            if hit:
+                counters.plan_cache_hits += 1
+            else:
+                counters.plan_cache_misses += 1
+
+    def record_tenant_shuffle_reuse(self, tenant: str, count: int = 1) -> None:
+        """``tenant``'s query was answered partly by retained shuffle outputs."""
+        counters = self.tenant(tenant)
+        with self._lock:
+            counters.shuffle_reuses += count
+
+    def record_tenant_admission_wait(self, tenant: str, seconds: float) -> None:
+        """``tenant`` queued ``seconds`` at the admission gate."""
+        counters = self.tenant(tenant)
+        with self._lock:
+            counters.admission_waits += 1
+            counters.admission_wait_seconds += seconds
+
+    def record_tenant_quota_eviction(self, tenant: str, nbytes: int) -> None:
+        """``tenant`` evicted ``nbytes`` of its own blocks to stay in quota."""
+        counters = self.tenant(tenant)
+        with self._lock:
+            counters.quota_evictions += 1
+            counters.quota_evicted_bytes += nbytes
+
+    def tenant_report(self) -> dict:
+        """Per-tenant counter reports, keyed by tenant name."""
+        with self._lock:
+            return {name: c.report() for name, c in self.tenants.items()}
+
     def simulated_time(self, cluster: ClusterSpec) -> float:
         """Simulated time of everything recorded so far on ``cluster``."""
         return self.total.simulated_time(cluster)
@@ -462,6 +598,7 @@ class MetricsRegistry:
         """Forget all history (used between benchmark repetitions)."""
         self.total = JobMetrics(job_id=-1, description="total")
         self.jobs.clear()
+        self.tenants.clear()
         self._active = None
         self._next_job_id = 0
 

@@ -48,7 +48,9 @@ import heapq
 import os
 import threading
 import time
+from collections import deque
 from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional, Union
 
@@ -440,6 +442,102 @@ def resolve_runner(
         f"unknown runner {runner!r}: expected a TaskRunner, 'serial', "
         f"'threads', or 'pipelined'"
     )
+
+
+class FairJobScheduler:
+    """Admission control for jobs on a shared substrate.
+
+    Bounds the number of concurrently *running* jobs and grants freed
+    slots round-robin across tenants, each tenant's own waiters FIFO —
+    so one tenant replaying a heavy workload cannot starve the pool: a
+    light tenant's next query waits behind at most one queued job per
+    other tenant, not behind the heavy tenant's whole backlog.
+
+    With ``max_concurrent=None`` (the single-session default and the
+    classic-engine path) :meth:`admit` is a no-op passthrough.  Nested
+    admissions from an already-admitted thread (a session action that
+    triggers another action) reenter without taking a second slot,
+    which also makes the gate deadlock-free under recursion.
+    """
+
+    def __init__(self, max_concurrent: Optional[int] = None, metrics=None):
+        if max_concurrent is not None and max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1 (or None)")
+        self.max_concurrent = max_concurrent
+        self._metrics = metrics
+        self._cond = threading.Condition()
+        self._running = 0
+        #: High-water mark of concurrently admitted jobs (tests assert
+        #: the bound held under concurrent load).
+        self.peak_running = 0
+        self._queues: dict[str, deque] = {}
+        #: Tenants with waiters, in grant order; invariant: a tenant is
+        #: in the rotation iff its queue is non-empty.
+        self._rotation: deque = deque()
+        self._granted: set = set()
+        self._local = threading.local()
+
+    def _dispatch_locked(self) -> None:
+        while self._running < self.max_concurrent and self._rotation:
+            tenant = self._rotation.popleft()
+            queue = self._queues[tenant]
+            ticket = queue.popleft()
+            if queue:
+                self._rotation.append(tenant)
+            self._granted.add(ticket)
+            self._running += 1
+            self.peak_running = max(self.peak_running, self._running)
+        self._cond.notify_all()
+
+    @contextmanager
+    def admit(self, tenant: str = "") -> Iterator[None]:
+        """Hold a job slot for the duration of the ``with`` body."""
+        if self.max_concurrent is None:
+            yield
+            return
+        depth = getattr(self._local, "depth", 0)
+        if depth:
+            # Nested action inside an admitted job: reenter freely.
+            self._local.depth = depth + 1
+            try:
+                yield
+            finally:
+                self._local.depth = depth
+            return
+        ticket = object()
+        start = time.perf_counter()
+        queued = False
+        with self._cond:
+            queue = self._queues.setdefault(tenant, deque())
+            queue.append(ticket)
+            if len(queue) == 1:
+                self._rotation.append(tenant)
+            self._dispatch_locked()
+            while ticket not in self._granted:
+                queued = True
+                self._cond.wait()
+            self._granted.discard(ticket)
+        if queued and self._metrics is not None:
+            self._metrics.record_tenant_admission_wait(
+                tenant, time.perf_counter() - start
+            )
+        self._local.depth = 1
+        try:
+            yield
+        finally:
+            self._local.depth = 0
+            with self._cond:
+                self._running -= 1
+                self._dispatch_locked()
+
+    def stats(self) -> dict:
+        with self._cond:
+            return {
+                "max_concurrent": self.max_concurrent,
+                "running": self._running,
+                "peak_running": self.peak_running,
+                "waiting": sum(len(q) for q in self._queues.values()),
+            }
 
 
 class DAGScheduler:

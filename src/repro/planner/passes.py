@@ -38,7 +38,6 @@ Passes only decide and annotate — no RDD is constructed here; that is
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
@@ -47,7 +46,7 @@ from ..comprehension.ast import (
 )
 from ..comprehension.errors import SacPlanError
 from ..comprehension.interpreter import Interpreter
-from ..engine import EngineContext, RDD
+from ..engine import EngineContext, RDD, env_flag
 from ..storage.registry import BuildContext
 from ..storage.sparse_tiled import SparseTiledMatrix
 from ..storage.tiled import TiledMatrix, TiledVector
@@ -87,9 +86,7 @@ def cse_enabled(options: "PlannerOptions") -> bool:
     """
     if options.cse is not None:
         return options.cse
-    return os.environ.get("REPRO_CSE", "").strip().lower() in (
-        "1", "true", "yes", "on",
-    )
+    return env_flag("REPRO_CSE", False)
 
 
 def fusion_enabled(options: "PlannerOptions") -> bool:
@@ -102,9 +99,7 @@ def fusion_enabled(options: "PlannerOptions") -> bool:
     """
     if options.fusion is not None:
         return options.fusion
-    return os.environ.get("REPRO_FUSION", "").strip().lower() in (
-        "1", "true", "yes", "on",
-    )
+    return env_flag("REPRO_FUSION", False)
 
 
 @dataclass
